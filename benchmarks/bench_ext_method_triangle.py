@@ -1,0 +1,82 @@
+"""Extension: the exactness/speed/guarantee triangle with Monte Carlo.
+
+The paper's Section 6 contrasts K-dash (exact) with BPA (recall-1) and
+mentions Avrachenkov et al.'s Monte-Carlo method (no guarantee) as the
+remaining corner.  This benchmark measures all three corners on one
+dataset: query latency and precision@5 against the exact ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MonteCarloRWR
+from repro.datasets import load_dataset
+from repro.eval.metrics import precision_at_k
+from repro.eval.reporting import ResultTable
+from repro.eval.timing import time_callable
+
+from conftest import bench_scale
+
+DATASET = "Internet"
+MC_WALKS = (200, 2_000)
+
+
+@pytest.mark.parametrize("walks", MC_WALKS)
+def test_monte_carlo_query(benchmark, ctx, walks):
+    graph = load_dataset(DATASET, bench_scale()).graph
+    mc = MonteCarloRWR(graph, n_walks=walks, seed=0).build()
+    queries = ctx.queries(DATASET, 3)
+    benchmark.pedantic(
+        lambda: [mc.top_k(q, 5) for q in queries], rounds=2, iterations=1
+    )
+
+
+def test_method_triangle_table(benchmark, ctx, save_table):
+    def run():
+        graph = load_dataset(DATASET, bench_scale()).graph
+        queries = ctx.queries(DATASET, 6)
+        exact = {q: ctx.exact_vector(DATASET, q) for q in queries}
+        table = ResultTable(
+            f"Extension: method triangle on {DATASET} (K=5)",
+            ["method", "guarantee", "median query [s]", "mean precision@5"],
+            notes=["expected: K-dash exact and fastest; MC cheap but lossy"],
+        )
+        index = ctx.kdash(DATASET)
+        seconds, _ = time_callable(
+            lambda: [index.top_k(q, 5) for q in queries], repeats=3
+        )
+        precision = np.mean(
+            [precision_at_k(index.top_k(q, 5).nodes, exact[q], 5) for q in queries]
+        )
+        table.add_row("K-dash", "exact", seconds / len(queries), float(precision))
+
+        bpa = ctx.bpa(DATASET, 100)
+        seconds, _ = time_callable(
+            lambda: [bpa.top_k(q, 5) for q in queries], repeats=1
+        )
+        precision = np.mean(
+            [precision_at_k(bpa.top_k(q, 5).nodes, exact[q], 5) for q in queries]
+        )
+        table.add_row("BPA(100)", "recall=1", seconds / len(queries), float(precision))
+
+        for walks in MC_WALKS:
+            mc = MonteCarloRWR(graph, n_walks=walks, seed=0).build()
+            seconds, _ = time_callable(
+                lambda: [mc.top_k(q, 5) for q in queries], repeats=1
+            )
+            precision = np.mean(
+                [precision_at_k(mc.top_k(q, 5).nodes, exact[q], 5) for q in queries]
+            )
+            table.add_row(
+                f"MonteCarlo({walks})", "none", seconds / len(queries), float(precision)
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ext_method_triangle", table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["K-dash"][3] == 1.0
+    assert rows["K-dash"][2] < rows["BPA(100)"][2]
+    assert rows[f"MonteCarlo({MC_WALKS[0]})"][3] <= 1.0

@@ -1,0 +1,120 @@
+"""Extension: scalability sweep backing the Section 5 complexity claims.
+
+K-dash's query cost is "practically O(n + m)" dominated by the visited
+neighbourhood, while NB_LIN's is Θ(n·r) — so the gap must *widen* as the
+graph grows.  This benchmark sweeps graph size at fixed density and
+measures both methods' query latency plus K-dash's visited-set size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NBLin
+from repro.core import KDash
+from repro.eval.reporting import ResultTable
+from repro.eval.timing import time_callable
+from repro.graph import scale_free_digraph
+
+SIZES = (500, 1_000, 2_000, 4_000)
+EDGE_FACTOR = 4
+NB_RANK = 50
+
+
+def _graph(n: int):
+    return scale_free_digraph(n, EDGE_FACTOR * n, seed=1234 + n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_kdash_query_at_size(benchmark, n):
+    graph = _graph(n)
+    index = KDash(graph).build()
+    queries = [5, 17, 99, 123, 321]
+    benchmark(lambda: [index.top_k(q, 5) for q in queries])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_nb_lin_query_at_size(benchmark, n):
+    graph = _graph(n)
+    method = NBLin(graph, target_rank=NB_RANK).build()
+    queries = [5, 17, 99, 123, 321]
+    benchmark(lambda: [method.top_k(q, 5) for q in queries])
+
+
+def test_scalability_table(benchmark, save_table):
+    def run():
+        table = ResultTable(
+            "Extension: query latency vs graph size (K=5, m = 4n)",
+            ["n", "K-dash [s]", "NB_LIN(50) [s]", "NB_LIN / K-dash", "K-dash visited"],
+            notes=[
+                "expected: the ratio grows with n (K-dash ~ visited set, "
+                "NB_LIN ~ n*r)",
+            ],
+        )
+        queries = [5, 17, 99, 123, 321]
+        for n in SIZES:
+            graph = _graph(n)
+            index = KDash(graph).build()
+            nb = NBLin(graph, target_rank=NB_RANK).build()
+            kd_seconds, _ = time_callable(
+                lambda: [index.top_k(q, 5) for q in queries], repeats=3
+            )
+            nb_seconds, _ = time_callable(
+                lambda: [nb.top_k(q, 5) for q in queries], repeats=3
+            )
+            visited = float(np.mean([index.top_k(q, 5).n_visited for q in queries]))
+            table.add_row(
+                n,
+                kd_seconds / len(queries),
+                nb_seconds / len(queries),
+                nb_seconds / kd_seconds,
+                visited,
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ext_scalability", table)
+    ratios = table.column("NB_LIN / K-dash")
+    assert ratios[-1] > ratios[0], "the gap must widen with n"
+
+
+def test_dynamic_update_amortisation(benchmark, save_table):
+    """Companion: query cost before/after updates and after rebuild."""
+    from repro.core import DynamicKDash
+
+    def run():
+        graph = _graph(1_000)
+        dyn = DynamicKDash(graph, rebuild_threshold=None)
+        table = ResultTable(
+            "Extension: dynamic updates (exact throughout)",
+            ["state", "median query [s]", "pending columns"],
+            notes=["queries stay exact at every state; rebuild restores pruning"],
+        )
+        queries = [5, 17, 99]
+        seconds, _ = time_callable(
+            lambda: [dyn.top_k(q, 5) for q in queries], repeats=3
+        )
+        table.add_row("clean index", seconds / len(queries), dyn.n_pending_columns)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            u, v = int(rng.integers(1_000)), int(rng.integers(1_000))
+            if u != v:
+                dyn.add_edge(u, v, 1.0)
+        seconds, _ = time_callable(
+            lambda: [dyn.top_k(q, 5) for q in queries], repeats=3
+        )
+        table.add_row(
+            "10 pending updates", seconds / len(queries), dyn.n_pending_columns
+        )
+        dyn.rebuild()
+        seconds, _ = time_callable(
+            lambda: [dyn.top_k(q, 5) for q in queries], repeats=3
+        )
+        table.add_row("after rebuild", seconds / len(queries), dyn.n_pending_columns)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ext_dynamic_updates", table)
+    times = table.column("median query [s]")
+    assert times[2] < times[1], "rebuild must restore the fast path"

@@ -1,0 +1,63 @@
+"""Figure 2 benchmark: top-k search wall-clock across datasets/methods.
+
+Micro-benchmarks time one query batch per (dataset, method, K); the
+``test_fig2_table`` entry regenerates the full figure as a table in
+``benchmarks/results/fig2.md``.
+
+Paper shape to observe in the output: every ``kdash`` row is far below
+the ``nb_lin`` and ``bpa`` rows of the same dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.eval.experiments import fig2_efficiency
+
+K_VALUES = (5, 25, 50)
+NB_RANKS = (20, 150)
+BPA_HUBS = 150
+N_QUERIES = 5
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_kdash_query(benchmark, ctx, dataset, k):
+    index = ctx.kdash(dataset)
+    queries = ctx.queries(dataset, N_QUERIES)
+    benchmark(lambda: [index.top_k(q, k) for q in queries])
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+@pytest.mark.parametrize("rank", NB_RANKS)
+def test_nb_lin_query(benchmark, ctx, dataset, rank):
+    method = ctx.nb_lin(dataset, rank)
+    queries = ctx.queries(dataset, N_QUERIES)
+    benchmark(lambda: [method.top_k(q, 5) for q in queries])
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_bpa_query(benchmark, ctx, dataset, k):
+    method = ctx.bpa(dataset, BPA_HUBS)
+    queries = ctx.queries(dataset, N_QUERIES)
+    benchmark.pedantic(
+        lambda: [method.top_k(q, k) for q in queries], rounds=3, iterations=1
+    )
+
+
+def test_fig2_table(benchmark, ctx, save_table):
+    """Regenerate Figure 2 and archive the table."""
+    table = benchmark.pedantic(
+        lambda: fig2_efficiency.run(
+            ctx, nb_ranks=NB_RANKS, bpa_hubs=BPA_HUBS, n_queries=N_QUERIES, repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig2_efficiency", table)
+    for name in ctx.dataset_names:
+        row = table.row_dict(name)
+        assert row["K-dash(5)"] < row[f"NB_LIN({NB_RANKS[0]})"], name
+        assert row["K-dash(5)"] < row["BPA(5)"], name

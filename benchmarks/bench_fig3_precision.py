@@ -1,0 +1,26 @@
+"""Figure 3 benchmark: precision vs SVD target rank / hub count.
+
+Precision is not a timing, so the figure is regenerated once (pedantic,
+one round) and its shape asserted: K-dash at 1.0 everywhere, NB_LIN
+rising with rank but below 1 at low ranks, BPA near-flat and near 1.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig3_precision
+
+SWEEP = (10, 40, 70, 100, 200)
+
+
+def test_fig3_table(benchmark, ctx, save_table):
+    table = benchmark.pedantic(
+        lambda: fig3_precision.run(ctx, sweep=SWEEP, k=5, n_queries=8),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig3_precision", table)
+    assert all(v == 1.0 for v in table.column("K-dash"))
+    nb = table.column("NB_LIN")
+    assert nb[0] < 1.0
+    assert nb[-1] >= nb[0]
+    assert min(table.column("BPA")) > 0.9

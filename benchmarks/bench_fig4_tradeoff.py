@@ -1,0 +1,54 @@
+"""Figure 4 benchmark: query wall-clock vs SVD target rank / hub count.
+
+Micro-benchmarks pin the per-method query cost at each sweep point on
+the Dictionary dataset; the table entry regenerates the figure.  Shape:
+NB_LIN's cost grows with rank, BPA's falls as hubs increase, K-dash is
+one flat (and lowest) line — it has no inner parameter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import fig4_tradeoff
+
+SWEEP = (10, 40, 70, 100, 200)
+DATASET = "Dictionary"
+N_QUERIES = 5
+
+
+@pytest.mark.parametrize("rank", SWEEP)
+def test_nb_lin_at_rank(benchmark, ctx, rank):
+    method = ctx.nb_lin(DATASET, rank)
+    queries = ctx.queries(DATASET, N_QUERIES)
+    benchmark(lambda: [method.top_k(q, 5) for q in queries])
+
+
+@pytest.mark.parametrize("hubs", SWEEP)
+def test_bpa_at_hubs(benchmark, ctx, hubs):
+    method = ctx.bpa(DATASET, hubs)
+    queries = ctx.queries(DATASET, N_QUERIES)
+    benchmark.pedantic(
+        lambda: [method.top_k(q, 5) for q in queries], rounds=3, iterations=1
+    )
+
+
+def test_kdash_flat(benchmark, ctx):
+    index = ctx.kdash(DATASET)
+    queries = ctx.queries(DATASET, N_QUERIES)
+    benchmark(lambda: [index.top_k(q, 5) for q in queries])
+
+
+def test_fig4_table(benchmark, ctx, save_table):
+    table = benchmark.pedantic(
+        lambda: fig4_tradeoff.run(
+            ctx, sweep=SWEEP, dataset=DATASET, k=5, n_queries=N_QUERIES, repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig4_tradeoff", table)
+    kdash = table.column("K-dash")
+    assert kdash[0] == kdash[-1]  # parameter-free
+    nb = table.column("NB_LIN")
+    assert nb[-1] >= nb[0] * 0.8  # grows (allowing for timer noise)

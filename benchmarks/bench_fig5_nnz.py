@@ -1,0 +1,51 @@
+"""Figure 5 benchmark: sparsity of the inverse matrices per reordering.
+
+The micro-benchmarks time the *build* under each reordering (the numbers
+behind Figure 6 come from the same builds); each records the Figure 5
+metric — nnz(L^-1)+nnz(U^-1) over the edge count — as benchmark
+``extra_info``.  The table entry archives both figures' data.
+
+Shape: Random's ratio towers over the three heuristics on every dataset;
+Hybrid is the smallest (or ties Degree) everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KDash
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.eval.experiments import fig5_nnz
+
+from conftest import bench_scale
+
+REORDERINGS = ("degree", "cluster", "hybrid", "random")
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+@pytest.mark.parametrize("reordering", REORDERINGS)
+def test_build_with_reordering(benchmark, dataset, reordering):
+    graph = load_dataset(dataset, bench_scale()).graph
+
+    def build():
+        return KDash(graph, reordering=reordering).build()
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    report = index.build_report
+    benchmark.extra_info["inverse_nnz_ratio"] = round(
+        report.fill_in.inverse_ratio, 2
+    )
+    benchmark.extra_info["factor_fill_ratio"] = round(
+        report.fill_in.factor_fill_ratio, 2
+    )
+
+
+def test_fig5_table(benchmark, ctx, save_table):
+    table = benchmark.pedantic(
+        lambda: fig5_nnz.run(ctx), rounds=1, iterations=1
+    )
+    save_table("fig5_nnz", table)
+    for name in ctx.dataset_names:
+        row = table.row_dict(name)
+        assert row["Hybrid"] <= row["Random"], name
+        assert row["Degree"] <= row["Random"], name

@@ -1,0 +1,39 @@
+"""Figure 6 benchmark: precomputation time per reordering approach.
+
+Reuses the context's cached builds (the same ones Figure 5 accounts) and
+archives the per-phase timings.  Shape: Random is the slowest build on
+(almost) every dataset because its factors and inverses are the densest.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig6_precompute
+from repro.eval.reporting import ResultTable
+
+
+def test_fig6_table(benchmark, ctx, save_table):
+    table = benchmark.pedantic(
+        lambda: fig6_precompute.run(ctx), rounds=1, iterations=1
+    )
+    # Companion table: the phase decomposition for the hybrid builds.
+    phases = ResultTable(
+        "Figure 6 companion: hybrid build phase breakdown [s]",
+        ["dataset", "reorder", "LU", "inversion", "total"],
+    )
+    for name in ctx.dataset_names:
+        report = ctx.kdash(name).build_report
+        phases.add_row(
+            name,
+            report.reorder_seconds,
+            report.lu_seconds,
+            report.inverse_seconds,
+            report.total_seconds,
+        )
+    save_table("fig6_precompute", table, phases)
+    slow_count = sum(
+        1
+        for name in ctx.dataset_names
+        if table.row_dict(name)["Random"] >= table.row_dict(name)["Hybrid"]
+    )
+    # Random must be the slower build on the clear majority of datasets.
+    assert slow_count >= len(ctx.dataset_names) - 1

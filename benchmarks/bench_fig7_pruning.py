@@ -1,0 +1,40 @@
+"""Figure 7 benchmark: K-dash with vs without the tree-estimation pruning.
+
+Micro-benchmarks time both variants per dataset; the table entry
+regenerates the figure and asserts pruning wins everywhere (the paper
+reports up to 1,020x; our scaled graphs land in the 5-50x range).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.eval.experiments import fig7_pruning
+
+N_QUERIES = 5
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_with_pruning(benchmark, ctx, dataset):
+    index = ctx.kdash(dataset)
+    queries = ctx.queries(dataset, N_QUERIES)
+    benchmark(lambda: [index.top_k(q, 5) for q in queries])
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_without_pruning(benchmark, ctx, dataset):
+    index = ctx.kdash(dataset)
+    queries = ctx.queries(dataset, N_QUERIES)
+    benchmark(lambda: [index.top_k(q, 5, prune=False) for q in queries])
+
+
+def test_fig7_table(benchmark, ctx, save_table):
+    table = benchmark.pedantic(
+        lambda: fig7_pruning.run(ctx, k=5, n_queries=N_QUERIES, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig7_pruning", table)
+    for name in ctx.dataset_names:
+        assert table.row_dict(name)["speed-up"] > 1.0, name

@@ -1,0 +1,23 @@
+"""Figure 9 benchmark: query-root vs random-root proximity computations.
+
+The metric is a computation count, not a timing, so the figure is
+regenerated once and archived.  Shape: the random root needs one to two
+orders of magnitude more proximity computations on every dataset.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import fig9_root_selection
+
+
+def test_fig9_table(benchmark, ctx, save_table):
+    table = benchmark.pedantic(
+        lambda: fig9_root_selection.run(ctx, k=5, n_queries=5),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("fig9_root_selection", table)
+    for name in ctx.dataset_names:
+        row = table.row_dict(name)
+        assert row["Random root"] > row["K-dash (query root)"], name
+        assert row["ratio"] > 2.0, name

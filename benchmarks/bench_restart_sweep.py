@@ -1,0 +1,36 @@
+"""Section 6.3.3 benchmark: robustness across restart probabilities.
+
+Regenerates the text-only ablation ("additional evaluations using
+various values of the restart probability c"): K-dash must stay exact at
+every c, with pruning cost growing as c shrinks (flatter proximities).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import KDash
+from repro.datasets import load_dataset
+from repro.eval.experiments import restart_sweep
+
+from conftest import bench_scale
+
+C_VALUES = (0.5, 0.7, 0.9, 0.95, 0.99)
+
+
+@pytest.mark.parametrize("c", C_VALUES)
+def test_kdash_query_at_c(benchmark, ctx, c):
+    graph = load_dataset("Dictionary", bench_scale()).graph
+    index = KDash(graph, c=c).build()
+    queries = ctx.queries("Dictionary", 5)
+    benchmark(lambda: [index.top_k(q, 5) for q in queries])
+
+
+def test_restart_sweep_table(benchmark, ctx, save_table):
+    table = benchmark.pedantic(
+        lambda: restart_sweep.run(ctx, c_values=C_VALUES, n_queries=5),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("restart_sweep", table)
+    assert all(v is True for v in table.column("exact"))

@@ -1,0 +1,25 @@
+"""Table 2 benchmark: ranked-list case study on dictionary terms.
+
+Archives the K-dash vs NB_LIN top-5 term lists for the planted topic
+hubs and asserts the paper's qualitative result: K-dash's lists are the
+exact rankings (precision 1.0 on every queried term) while the
+approximate method's lists drift.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import table2_case_study
+
+TERMS = ("microsoft", "apple", "microsoft-windows", "mac-os", "linux")
+
+
+def test_table2(benchmark, ctx, save_table):
+    tables = benchmark.pedantic(
+        lambda: table2_case_study.run(ctx, terms=TERMS, k=5, nb_rank=40),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("table2_case_study", *tables)
+    for table in tables:
+        note = table.notes[0]
+        assert "K-dash precision vs exact: 1.00" in note, note

@@ -1,0 +1,53 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+The suite is driven by ``pytest benchmarks/ --benchmark-only``.  Every
+figure/table of the paper has one ``bench_figX_*.py`` file containing
+
+- micro-benchmarks of the operations the figure times (pytest-benchmark
+  handles calibration and statistics), and
+- one ``test_figX_table`` that executes the full experiment behind the
+  figure and writes the paper-shape table to ``benchmarks/results/``.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` (default ``1.0``) — dataset size multiplier.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.eval.harness import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """One shared context: method builds are cached across bench files."""
+    return ExperimentContext(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered ResultTable under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, *tables) -> None:
+        path = RESULTS_DIR / f"{name}.md"
+        chunks = []
+        for table in tables:
+            chunks.append(table.to_markdown())
+            chunks.append("")
+            print()
+            print(table.render())
+        path.write_text("\n".join(chunks), encoding="utf-8")
+
+    return _save

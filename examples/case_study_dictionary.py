@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Table 2 case study: ranked term lists on the dictionary graph.
+
+Reproduces the paper's Appendix D.2 experiment: for company and operating
+system names, print the top-5 highest-proximity terms found by K-dash
+(exact) and by NB_LIN (approximate), and watch the approximate lists
+drift away from the exact ones.
+
+Run with::
+
+    python examples/case_study_dictionary.py
+"""
+
+from __future__ import annotations
+
+from repro import KDash, NBLin, direct_solve_rwr, top_k_from_vector
+from repro.datasets import load_dataset
+from repro.graph import column_normalized_adjacency
+
+TERMS = ("microsoft", "apple", "microsoft-windows", "mac-os", "linux")
+
+
+def main() -> None:
+    dataset = load_dataset("Dictionary")
+    graph = dataset.graph
+    print(f"dictionary graph: {graph.n_nodes} terms, {graph.n_edges} links")
+
+    index = KDash(graph, c=0.95).build()
+    nb_lin = NBLin(graph, c=0.95, target_rank=40).build()
+    adjacency = column_normalized_adjacency(graph)
+
+    for term in TERMS:
+        query = graph.node_by_label(term)
+        kdash = index.top_k(query, 5)
+        approx = nb_lin.top_k(query, 5)
+        exact_nodes = [
+            u for u, _ in top_k_from_vector(direct_solve_rwr(adjacency, query, 0.95), 5)
+        ]
+        print(f"\n=== query: {term!r} ===")
+        print("  K-dash :", ", ".join(graph.label_of(u) for u in kdash.nodes))
+        print("  NB_LIN :", ", ".join(graph.label_of(u) for u in approx.nodes))
+        agreement = len(set(kdash.nodes) & set(exact_nodes))
+        print(f"  K-dash matches the exact ranking on {agreement}/5 positions "
+              f"(searched {kdash.n_computed}/{graph.n_nodes} nodes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Exact top-k search on a changing graph (DynamicKDash).
+
+The paper's index is a one-time precomputation over a static graph.
+Real trust/collaboration networks change constantly, and rebuilding the
+index per edge is wasteful.  ``DynamicKDash`` absorbs edge insertions,
+deletions and re-weightings through exact low-rank (Woodbury)
+corrections: queries remain *exact* at every moment, and a periodic
+``rebuild()`` flattens the accumulated updates to restore the pruned
+fast path.
+
+Run with::
+
+    python examples/dynamic_updates.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import DynamicKDash, direct_solve_rwr
+from repro.graph import column_normalized_adjacency, scale_free_digraph
+
+
+def verify_exact(dyn: DynamicKDash, query: int) -> None:
+    expected = direct_solve_rwr(
+        column_normalized_adjacency(dyn.graph), query, dyn.c
+    )
+    got = dyn.proximity_column(query)
+    assert np.allclose(got, expected, atol=1e-8), "dynamic index drifted!"
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    graph = scale_free_digraph(1_500, 6_000, seed=7)
+    dyn = DynamicKDash(graph, c=0.95, rebuild_threshold=None)
+    query = 11
+
+    result = dyn.top_k(query, 5)
+    print(f"t=0 (clean index)      top-5: {result.nodes}  "
+          f"computed {result.n_computed}/{graph.n_nodes}")
+
+    # A stream of trust events: new edges, revoked edges, weight changes.
+    events = []
+    for step in range(12):
+        u, v = int(rng.integers(1_500)), int(rng.integers(1_500))
+        if u == v:
+            continue
+        if dyn.graph.has_edge(u, v) and step % 3 == 0:
+            dyn.remove_edge(u, v)
+            events.append(f"remove {u}->{v}")
+        else:
+            dyn.add_edge(u, v, float(rng.integers(1, 4)))
+            events.append(f"add {u}->{v}")
+    print(f"\napplied {len(events)} edge events "
+          f"({dyn.n_pending_columns} transition columns touched):")
+    for event in events[:5]:
+        print(f"  {event}")
+    print("  ...")
+
+    t0 = time.perf_counter()
+    result = dyn.top_k(query, 5)
+    corrected_ms = (time.perf_counter() - t0) * 1e3
+    verify_exact(dyn, query)
+    print(f"\nt=1 (pending updates)  top-5: {result.nodes}  "
+          f"[exact via Woodbury correction, {corrected_ms:.2f} ms/query]")
+
+    t0 = time.perf_counter()
+    dyn.rebuild()
+    rebuild_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = dyn.top_k(query, 5)
+    pruned_ms = (time.perf_counter() - t0) * 1e3
+    verify_exact(dyn, query)
+    print(f"t=2 (after rebuild)    top-5: {result.nodes}  "
+          f"[pruned search restored, {pruned_ms:.2f} ms/query; "
+          f"rebuild took {rebuild_s:.2f}s]")
+
+    print("\nexactness verified against the direct solver at every stage")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: build a K-dash index and run exact top-k RWR queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the 90% use case in ~40 lines: create a graph, build the index
+once, query it many times, inspect the search statistics, and verify the
+result against the brute-force solver.
+"""
+
+from repro import KDash, direct_solve_rwr, top_k_from_vector
+from repro.graph import column_normalized_adjacency, scale_free_digraph
+
+
+def main() -> None:
+    # 1. A directed, weighted graph.  Any DiGraph works; here we use a
+    #    synthetic scale-free network (2,000 nodes, ~8,000 edges).
+    graph = scale_free_digraph(2_000, 8_000, seed=42)
+    print(f"graph: {graph.n_nodes} nodes, {graph.n_edges} edges")
+
+    # 2. Build the index once.  This runs the hybrid reordering, the LU
+    #    decomposition of W = I - (1-c)A, and the sparse triangular
+    #    inversions (the paper's Section 4.2 precomputation).
+    index = KDash(graph, c=0.95).build()
+    report = index.build_report
+    print(
+        f"build: {report.total_seconds:.2f}s, "
+        f"index nnz = {index.index_nnz:,} "
+        f"({report.fill_in.inverse_ratio:.1f}x the edge count)"
+    )
+
+    # 3. Query: the 10 nodes most relevant to node 7, exactly.
+    result = index.top_k(query=7, k=10)
+    print(f"\ntop-10 for node 7 (searched {result.n_computed} of "
+          f"{graph.n_nodes} nodes, early stop: {result.terminated_early}):")
+    for rank, (node, proximity) in enumerate(result.items, start=1):
+        print(f"  {rank:2d}. node {node:5d}  proximity {proximity:.6f}")
+
+    # 4. Exactness check against the brute-force linear solve.
+    adjacency = column_normalized_adjacency(graph)
+    brute_force = top_k_from_vector(direct_solve_rwr(adjacency, 7, 0.95), 10)
+    assert [round(p, 10) for _, p in brute_force] == [
+        round(p, 10) for p in result.proximities
+    ], "K-dash must equal the brute-force ranking"
+    print("\nverified: identical to the brute-force proximity ranking")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Item recommendation over a user–tag–item graph (Konstas et al. style).
+
+The paper's Section 2 motivates RWR for recommender systems: "a graph
+that connects users to tags and tags to items, where the probabilities of
+relevance for items are given by RWR proximities".  This example builds a
+synthetic social-tagging graph, recommends items for a user with K-dash,
+and compares against a simple popularity baseline.
+
+Run with::
+
+    python examples/recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KDash
+from repro.graph import DiGraph
+
+
+def build_tagging_graph(
+    n_users: int = 300,
+    n_tags: int = 80,
+    n_items: int = 500,
+    seed: int = 3,
+):
+    """A tripartite user–tag–item graph with planted taste groups.
+
+    Users belong to one of 8 taste groups; each group favours a subset
+    of tags, and each tag points at a subset of items.  Edges: user <->
+    tag (tagging activity), tag <-> item (tag assignments), user <-> user
+    (friendship within groups, the "social knowledge" of the paper).
+    """
+    rng = np.random.default_rng(seed)
+    n = n_users + n_tags + n_items
+    labels = (
+        [f"user-{i}" for i in range(n_users)]
+        + [f"tag-{i}" for i in range(n_tags)]
+        + [f"item-{i}" for i in range(n_items)]
+    )
+    g = DiGraph(n, labels=labels)
+    tag0 = n_users
+    item0 = n_users + n_tags
+    n_groups = 8
+    group_of_user = rng.integers(0, n_groups, size=n_users)
+    group_tags = [
+        rng.choice(n_tags, size=n_tags // n_groups, replace=False)
+        for _ in range(n_groups)
+    ]
+    tag_items = [
+        rng.choice(n_items, size=10, replace=False) for _ in range(n_tags)
+    ]
+    for user in range(n_users):
+        my_tags = group_tags[group_of_user[user]]
+        for tag in rng.choice(my_tags, size=min(4, my_tags.size), replace=False):
+            g.add_edge(user, tag0 + int(tag), 1.0)
+            g.add_edge(tag0 + int(tag), user, 1.0)
+    for tag in range(n_tags):
+        for item in tag_items[tag]:
+            g.add_edge(tag0 + tag, item0 + int(item), 1.0)
+            g.add_edge(item0 + int(item), tag0 + tag, 1.0)
+    # Friendship edges inside taste groups.
+    for user in range(n_users):
+        friends = np.flatnonzero(group_of_user == group_of_user[user])
+        for f in rng.choice(friends, size=min(3, friends.size), replace=False):
+            if int(f) != user:
+                g.add_edge(user, int(f), 0.5)
+    return g, item0, group_of_user, group_tags, tag_items
+
+
+def main() -> None:
+    graph, item0, group_of_user, group_tags, tag_items = build_tagging_graph()
+    index = KDash(graph, c=0.85).build()
+
+    user = 5
+    group = group_of_user[user]
+    print(f"recommending for user-{user} (taste group {group})")
+
+    # Rank items by RWR proximity: query the user, keep item nodes only.
+    # Over-fetch (k = 200) then filter to the item id range.
+    result = index.top_k(user, k=200)
+    recommendations = [
+        (node, p) for node, p in result.items if node >= item0
+    ][:10]
+
+    print("\ntop-10 recommended items (exact RWR proximities):")
+    relevant_items = set()
+    for tag in group_tags[group]:
+        relevant_items.update(int(i) + item0 for i in tag_items[int(tag)])
+    hits = 0
+    for rank, (node, proximity) in enumerate(recommendations, start=1):
+        in_taste = node in relevant_items
+        hits += in_taste
+        print(
+            f"  {rank:2d}. {graph.label_of(node):10s} proximity {proximity:.6f}"
+            f"  {'<- matches taste group' if in_taste else ''}"
+        )
+    print(f"\ntaste-group hit rate: {hits}/10")
+
+    # Popularity baseline: most-tagged items, ignoring the user entirely.
+    popularity = {}
+    for items in tag_items:
+        for item in items:
+            popularity[int(item)] = popularity.get(int(item), 0) + 1
+    popular = sorted(popularity, key=lambda i: -popularity[i])[:10]
+    baseline_hits = sum(1 for i in popular if i + item0 in relevant_items)
+    print(f"popularity-baseline hit rate: {baseline_hits}/10")
+    print("\nRWR personalises: its hit rate should beat raw popularity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 660 editable installs need it, legacy ones do not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — a faithful reproduction of K-dash (Fujiwara et al., VLDB 2012).
+
+Fast and exact top-k search for random walk with restart proximity:
+
+>>> from repro import KDash
+>>> from repro.datasets import load_dataset
+>>> graph = load_dataset("Dictionary").graph
+>>> index = KDash(graph, c=0.95).build()          # one-time precomputation
+>>> result = index.top_k(query=0, k=5)            # exact, heavily pruned
+>>> len(result.nodes)
+5
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the K-dash index (the paper's contribution);
+- :mod:`repro.graph` — graph substrate, generators, transition matrices;
+- :mod:`repro.sparse` — from-scratch sparse kernel + triangular solves;
+- :mod:`repro.community` — Louvain method (cluster/hybrid reordering);
+- :mod:`repro.ordering` — degree / cluster / hybrid / random reorderings;
+- :mod:`repro.lu` — Crout LU + sparse triangular inverses;
+- :mod:`repro.rwr` — ground-truth RWR (power iteration, direct solve);
+- :mod:`repro.baselines` — NB_LIN, B_LIN, Basic Push, local RWR, iterative;
+- :mod:`repro.datasets` — the five paper-analog synthetic datasets;
+- :mod:`repro.eval` — metrics, timing, and one experiment per figure.
+"""
+
+from .baselines import BasicPushAlgorithm, BLin, IterativeRWR, LocalRWR, NBLin
+from .core import DynamicKDash, KDash, TopKResult, load_index, save_index
+from .exceptions import (
+    ConvergenceError,
+    DecompositionError,
+    GraphError,
+    IndexNotBuiltError,
+    InvalidParameterError,
+    NodeNotFoundError,
+    ReproError,
+    SerializationError,
+    SparseMatrixError,
+)
+from .graph import DiGraph
+from .rwr import direct_solve_rwr, power_iteration_rwr, top_k_from_vector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KDash",
+    "DynamicKDash",
+    "TopKResult",
+    "save_index",
+    "load_index",
+    "DiGraph",
+    "NBLin",
+    "BLin",
+    "BasicPushAlgorithm",
+    "LocalRWR",
+    "IterativeRWR",
+    "power_iteration_rwr",
+    "direct_solve_rwr",
+    "top_k_from_vector",
+    "ReproError",
+    "InvalidParameterError",
+    "GraphError",
+    "NodeNotFoundError",
+    "SparseMatrixError",
+    "DecompositionError",
+    "ConvergenceError",
+    "IndexNotBuiltError",
+    "SerializationError",
+    "__version__",
+]

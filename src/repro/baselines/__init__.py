@@ -1,0 +1,39 @@
+"""Baselines the paper evaluates K-dash against (Section 6).
+
+- :class:`~repro.baselines.nb_lin.NBLin` — Tong et al.'s NB_LIN: rank-r
+  SVD of the transition matrix + Sherman–Morrison–Woodbury identity;
+  fast approximate full-vector queries, precision < 1 (Figures 2–4).
+- :class:`~repro.baselines.b_lin.BLin` — Tong et al.'s B_LIN: partitioned
+  block-diagonal exact inverse + low-rank correction for cross-partition
+  edges.
+- :class:`~repro.baselines.bpa.BasicPushAlgorithm` — Gupta et al.'s
+  residual-push top-k Personalized PageRank with precomputed hub vectors;
+  recall-1 guarantee, answer set may exceed K (Figures 2–4).
+- :class:`~repro.baselines.local_rwr.LocalRWR` — Sun et al.'s
+  partition-local approximation (RWR restricted to the query's
+  community, zero elsewhere).
+- :class:`~repro.baselines.iterative.IterativeRWR` — the O(mt) power
+  iteration of Section 3, the exactness reference.
+
+Every baseline implements ``build()`` / ``top_k(query, k)`` returning the
+same :class:`~repro.core.topk.TopKResult` as K-dash, so the evaluation
+harness is method-agnostic.
+"""
+
+from .b_lin import BLin
+from .base import ProximityBaseline
+from .bpa import BasicPushAlgorithm
+from .iterative import IterativeRWR
+from .local_rwr import LocalRWR
+from .monte_carlo import MonteCarloRWR
+from .nb_lin import NBLin
+
+__all__ = [
+    "ProximityBaseline",
+    "NBLin",
+    "BLin",
+    "BasicPushAlgorithm",
+    "LocalRWR",
+    "IterativeRWR",
+    "MonteCarloRWR",
+]

@@ -1,0 +1,163 @@
+"""B_LIN (Tong et al., ICDM 2006) — partitioned low-rank approximate RWR.
+
+B_LIN refines NB_LIN by treating within-partition edges *exactly* and
+low-ranking only the cross-partition remainder:
+
+1. partition the nodes (original paper: METIS; here: Louvain with a size
+   cap, see DESIGN.md substitution table);
+2. split ``A = A1 + A2`` with ``A1`` the block-diagonal within-partition
+   part; invert ``Q1 = (I - (1-c) A1)^{-1}`` block by block (exact);
+3. rank-``r`` SVD of the cross-partition part ``A2 ≈ U Σ V^T``;
+4. Sherman–Morrison–Woodbury combine:
+
+   .. math::
+
+       W^{-1} \\approx Q1 + (1-c)\\, Q1 U \\Lambda V^T Q1, \\qquad
+       \\Lambda = (\\Sigma^{-1} - (1-c) V^T Q1 U)^{-1}
+
+Queries cost one sparse ``Q1`` product plus two ``n x r`` products.  The
+approximation error lives only in the cross-partition term, so B_LIN
+dominates NB_LIN at equal rank on community-structured graphs — and
+matches it when partitions barely exist, which is why the paper reports
+"similar results to B_LIN" for NB_LIN on its datasets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..community import louvain_communities
+from ..exceptions import InvalidParameterError
+from ..graph.digraph import DiGraph
+from ..graph.matrices import restart_vector
+from ..validation import check_positive_int
+from .base import ProximityBaseline
+
+
+def capped_partitions(
+    graph: DiGraph, max_block: int, seed: int = 0
+) -> List[np.ndarray]:
+    """Louvain partitions, splitting any community above ``max_block``.
+
+    Oversized communities are chopped into contiguous chunks — crude but
+    adequate: B_LIN only needs blocks small enough for dense inversion
+    and with reasonably few cross edges.
+    """
+    partition = louvain_communities(graph, seed=seed)
+    blocks: List[np.ndarray] = []
+    for members in partition.communities():
+        for start in range(0, members.size, max_block):
+            blocks.append(members[start : start + max_block])
+    return blocks
+
+
+class BLin(ProximityBaseline):
+    """B_LIN with Louvain block structure and SVD cross-edge correction.
+
+    Parameters
+    ----------
+    graph:
+        The weighted directed graph.
+    c:
+        Restart probability.
+    target_rank:
+        Rank of the cross-partition SVD.
+    max_block:
+        Partition size cap for the dense block inversions.
+    seed:
+        Louvain sweep seed.
+    """
+
+    method_name = "B_LIN"
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        c: float = 0.95,
+        target_rank: int = 100,
+        max_block: int = 600,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph, c)
+        self.target_rank = check_positive_int(target_rank, "target_rank")
+        self.max_block = check_positive_int(max_block, "max_block")
+        self.seed = seed
+
+    def _build(self) -> None:
+        n = self.graph.n_nodes
+        if n < 3:
+            raise InvalidParameterError("B_LIN needs at least 3 nodes")
+        a = self.adjacency
+        blocks = capped_partitions(self.graph, self.max_block, self.seed)
+        block_of = np.empty(n, dtype=np.int64)
+        for bid, members in enumerate(blocks):
+            block_of[members] = bid
+
+        coo = a.tocoo()
+        within = block_of[coo.row] == block_of[coo.col]
+        a1 = sp.csc_matrix(
+            (coo.data[within], (coo.row[within], coo.col[within])), shape=(n, n)
+        )
+        a2 = sp.csc_matrix(
+            (coo.data[~within], (coo.row[~within], coo.col[~within])), shape=(n, n)
+        )
+
+        # Exact block-diagonal inverse Q1 = (I - (1-c) A1)^{-1}.
+        q1_blocks = []
+        rows_all, cols_all, data_all = [], [], []
+        for members in blocks:
+            sub = (
+                sp.identity(members.size, format="csc")
+                - (1.0 - self.c) * a1[np.ix_(members, members)]
+            )
+            inv = np.linalg.inv(np.asarray(sub.todense()))
+            r, cidx = np.nonzero(np.abs(inv) > 0.0)
+            rows_all.append(members[r])
+            cols_all.append(members[cidx])
+            data_all.append(inv[r, cidx])
+            q1_blocks.append(members.size)
+        self._q1 = sp.csr_matrix(
+            (
+                np.concatenate(data_all),
+                (np.concatenate(rows_all), np.concatenate(cols_all)),
+            ),
+            shape=(n, n),
+        )
+
+        rank = min(self.target_rank, n - 1)
+        if a2.nnz == 0:
+            # No cross edges at all: Q1 is exact, correction vanishes.
+            self._u = np.zeros((n, 1))
+            self._vt = np.zeros((1, n))
+            self._lambda = np.zeros((1, 1))
+            self.effective_rank = 0
+            self.n_blocks = len(blocks)
+            return
+        u, s, vt = spla.svds(
+            a2.astype(np.float64), k=max(1, min(rank, min(a2.shape) - 1)),
+            v0=np.ones(n),
+        )
+        keep = s > 1e-12
+        u, s, vt = u[:, keep], s[keep], vt[keep, :]
+        if s.size == 0:
+            self._u = np.zeros((n, 1))
+            self._vt = np.zeros((1, n))
+            self._lambda = np.zeros((1, 1))
+            self.effective_rank = 0
+        else:
+            core = np.diag(1.0 / s) - (1.0 - self.c) * (vt @ (self._q1 @ u))
+            self._lambda = np.linalg.inv(core)
+            self._u = u
+            self._vt = vt
+            self.effective_rank = int(s.size)
+        self.n_blocks = len(blocks)
+
+    def _proximity_vector(self, query: int) -> np.ndarray:
+        q_vec = restart_vector(self.graph.n_nodes, query)
+        q1_q = self._q1 @ q_vec
+        correction = self._q1 @ (self._u @ (self._lambda @ (self._vt @ q1_q)))
+        return self.c * (q1_q + (1.0 - self.c) * correction)

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``stats``
+    Print the structural summary of a named synthetic dataset.
+``build``
+    Build a K-dash index for a dataset (or an edge-list file) and save
+    it to disk.
+``query``
+    Load a saved index and run a top-k query.
+``experiment``
+    Run a single paper experiment (fig2 ... table2, restart_sweep) and
+    print its table.
+
+Examples
+--------
+
+::
+
+    python -m repro.cli stats --dataset Citation
+    python -m repro.cli build --dataset Citation --output citation.npz
+    python -m repro.cli query --index citation.npz --node 5 --k 10
+    python -m repro.cli experiment --name fig7 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import KDash, load_index, save_index
+from .datasets import DATASET_NAMES, load_dataset
+from .graph import graph_statistics, read_edge_list
+
+_EXPERIMENTS = (
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "table2",
+    "restart_sweep",
+)
+
+
+def _cmd_stats(args) -> int:
+    dataset = load_dataset(args.dataset, args.scale)
+    stats = graph_statistics(dataset.graph)
+    print(f"{dataset.name}: {dataset.description}")
+    print(f"  paper original: n={dataset.paper_n:,}, m={dataset.paper_m:,}")
+    for key, value in stats.as_dict().items():
+        if isinstance(value, float):
+            print(f"  {key}: {value:.4f}")
+        else:
+            print(f"  {key}: {value:,}")
+    return 0
+
+
+def _load_graph(args):
+    if args.dataset:
+        return load_dataset(args.dataset, args.scale).graph
+    return read_edge_list(args.edge_list)
+
+
+def _cmd_build(args) -> int:
+    graph = _load_graph(args)
+    index = KDash(graph, c=args.c, reordering=args.reordering).build()
+    report = index.build_report
+    print(
+        f"built in {report.total_seconds:.2f}s "
+        f"(reorder {report.reorder_seconds:.2f}s, LU {report.lu_seconds:.2f}s, "
+        f"inversion {report.inverse_seconds:.2f}s)"
+    )
+    print(
+        f"index: {index.index_nnz:,} nonzeros, "
+        f"{report.fill_in.inverse_ratio:.1f}x the edge count"
+    )
+    save_index(index, args.output)
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    index = load_index(args.index)
+    result = index.top_k(args.node, args.k)
+    print(
+        f"top-{args.k} for node {args.node} "
+        f"(computed {result.n_computed}/{index.graph.n_nodes} proximities, "
+        f"early stop: {result.terminated_early}):"
+    )
+    for rank, (node, proximity) in enumerate(result.items, start=1):
+        label = index.graph.label_of(node)
+        print(f"  {rank:3d}. {label:30s} {proximity:.8f}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .eval import experiments
+    from .eval.harness import ExperimentContext
+
+    module = {
+        "fig2": experiments.fig2_efficiency,
+        "fig3": experiments.fig3_precision,
+        "fig4": experiments.fig4_tradeoff,
+        "fig5": experiments.fig5_nnz,
+        "fig6": experiments.fig6_precompute,
+        "fig7": experiments.fig7_pruning,
+        "fig9": experiments.fig9_root_selection,
+        "table2": experiments.table2_case_study,
+        "restart_sweep": experiments.restart_sweep,
+    }[args.name]
+    ctx = ExperimentContext(scale=args.scale)
+    result = module.run(ctx)
+    tables = result if isinstance(result, list) else [result]
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="K-dash reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="summarise a synthetic dataset")
+    p_stats.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    p_stats.add_argument("--scale", type=float, default=1.0)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_build = sub.add_parser("build", help="build and save a K-dash index")
+    source = p_build.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=DATASET_NAMES)
+    source.add_argument("--edge-list", help="path to a 'u v [w]' edge list")
+    p_build.add_argument("--scale", type=float, default=1.0)
+    p_build.add_argument("--c", type=float, default=0.95)
+    p_build.add_argument(
+        "--reordering",
+        default="hybrid",
+        choices=("hybrid", "degree", "cluster", "random", "identity", "rcm"),
+    )
+    p_build.add_argument("--output", required=True)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="query a saved index")
+    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--node", type=int, required=True)
+    p_query.add_argument("--k", type=int, default=5)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_exp = sub.add_parser("experiment", help="run one paper experiment")
+    p_exp.add_argument("--name", required=True, choices=_EXPERIMENTS)
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

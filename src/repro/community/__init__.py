@@ -1,0 +1,20 @@
+"""Community detection substrate: the Louvain method, from scratch.
+
+The paper's *cluster reordering* (Section 4.2.2, Algorithm 2) "divides the
+given graph into κ partitions by Louvain Method [Blondel et al. 2008]"
+and relies on its two properties: the number of partitions κ is chosen
+automatically, and modularity optimisation minimises cross-partition
+edges.  The B_LIN baseline also needs a partitioner (the original uses
+METIS; see DESIGN.md for the substitution note).
+
+:mod:`repro.community.modularity` defines the quality function,
+:mod:`repro.community.louvain` the two-phase optimisation, and
+:mod:`repro.community.partition` the :class:`Partition` value object the
+reordering code consumes.
+"""
+
+from .louvain import louvain_communities
+from .modularity import modularity
+from .partition import Partition
+
+__all__ = ["louvain_communities", "modularity", "Partition"]

@@ -1,0 +1,194 @@
+"""The Louvain method (Blondel et al. 2008), implemented from scratch.
+
+Two alternating phases, exactly as in the original paper the K-dash
+authors cite:
+
+1. **Local moving** — repeatedly sweep the nodes in a (seeded) random
+   order; each node greedily moves to the neighbouring community with the
+   largest positive modularity gain, until a full sweep produces no move.
+2. **Aggregation** — collapse each community into a super-node (intra
+   edges become self-loops, inter edges sum) and recurse on the smaller
+   graph.
+
+The recursion stops when aggregation no longer reduces the node count or
+the total modularity gain of a level falls below ``min_gain``.  The number
+of communities κ therefore emerges automatically — the property the
+paper's cluster reordering relies on ("κ is automatically determined by
+Louvain Method").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..validation import check_random_state, check_tolerance
+from .modularity import undirected_view
+from .partition import Partition
+
+
+class _WeightedUndirected:
+    """Compact undirected weighted graph used internally by Louvain.
+
+    Stores per-node neighbour dictionaries plus node strengths; supports
+    the aggregation step without round-tripping through :class:`DiGraph`.
+    """
+
+    __slots__ = ("n", "neighbors", "self_loops", "strength", "total_weight")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.neighbors: List[Dict[int, float]] = [dict() for _ in range(n)]
+        self.self_loops = np.zeros(n, dtype=np.float64)
+        self.strength = np.zeros(n, dtype=np.float64)
+        self.total_weight = 0.0
+
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "_WeightedUndirected":
+        weights, strength, total = undirected_view(graph)
+        g = cls(graph.n_nodes)
+        for (u, v), w in weights.items():
+            if u == v:
+                g.self_loops[u] += w
+            else:
+                g.neighbors[u][v] = g.neighbors[u].get(v, 0.0) + w
+                g.neighbors[v][u] = g.neighbors[v].get(u, 0.0) + w
+        g.strength = strength
+        g.total_weight = total
+        return g
+
+    def aggregate(self, assignment: np.ndarray, k: int) -> "_WeightedUndirected":
+        """Collapse communities into super-nodes."""
+        agg = _WeightedUndirected(k)
+        for u in range(self.n):
+            cu = int(assignment[u])
+            agg.self_loops[cu] += self.self_loops[u]
+            for v, w in self.neighbors[u].items():
+                if v < u:
+                    continue  # each undirected edge once
+                cv = int(assignment[v])
+                if cu == cv:
+                    agg.self_loops[cu] += w
+                else:
+                    agg.neighbors[cu][cv] = agg.neighbors[cu].get(cv, 0.0) + w
+                    agg.neighbors[cv][cu] = agg.neighbors[cv].get(cu, 0.0) + w
+        for u in range(k):
+            agg.strength[u] = 2.0 * agg.self_loops[u] + sum(agg.neighbors[u].values())
+        agg.total_weight = self.total_weight
+        return agg
+
+
+def _local_moving(
+    graph: _WeightedUndirected, rng: np.random.Generator, min_gain: float
+) -> Tuple[np.ndarray, bool]:
+    """Phase 1: greedy node moves until a full sweep yields no improvement.
+
+    Returns ``(assignment, improved)`` where ``improved`` reports whether
+    any move happened at all.
+    """
+    n = graph.n
+    assignment = np.arange(n, dtype=np.int64)
+    community_strength = graph.strength.copy()
+    two_w = 2.0 * graph.total_weight
+    if two_w <= 0.0:
+        return assignment, False
+    improved = False
+    moved = True
+    sweeps = 0
+    max_sweeps = 100  # safety valve; Louvain converges in far fewer
+    order = np.arange(n)
+    while moved and sweeps < max_sweeps:
+        moved = False
+        sweeps += 1
+        rng.shuffle(order)
+        for u in order:
+            u = int(u)
+            cu = int(assignment[u])
+            su = graph.strength[u]
+            # Weight from u to each neighbouring community.
+            weight_to: Dict[int, float] = {}
+            for v, w in graph.neighbors[u].items():
+                weight_to[int(assignment[v])] = (
+                    weight_to.get(int(assignment[v]), 0.0) + w
+                )
+            # Remove u from its community for the gain comparison.
+            community_strength[cu] -= su
+            w_cu = weight_to.get(cu, 0.0)
+            base = w_cu / graph.total_weight - (
+                su * community_strength[cu]
+            ) / (two_w * graph.total_weight)
+            best_c, best_gain = cu, base
+            for c, w_c in weight_to.items():
+                if c == cu:
+                    continue
+                gain = w_c / graph.total_weight - (
+                    su * community_strength[c]
+                ) / (two_w * graph.total_weight)
+                if gain > best_gain + min_gain:
+                    best_gain = gain
+                    best_c = c
+            assignment[u] = best_c
+            community_strength[best_c] += su
+            if best_c != cu:
+                moved = True
+                improved = True
+    return assignment, improved
+
+
+def louvain_communities(
+    graph: DiGraph,
+    seed=0,
+    min_gain: float = 1e-12,
+    max_levels: int = 32,
+) -> Partition:
+    """Run the full Louvain method on (the symmetrised view of) a graph.
+
+    Parameters
+    ----------
+    graph:
+        Input digraph; symmetrised for modularity purposes.
+    seed:
+        Seed for the node sweep order — makes results reproducible.  The
+        default ``0`` gives deterministic behaviour across runs, which
+        the reordering tests rely on.
+    min_gain:
+        Minimum modularity gain for a node move to be accepted.
+    max_levels:
+        Cap on aggregation levels (safety valve).
+
+    Returns
+    -------
+    Partition
+        Final communities on the *original* nodes.  Graphs with no edges
+        return the singleton partition.
+
+    Notes
+    -----
+    For all five synthetic datasets Louvain finishes in well under a
+    second at default scale — mirroring the paper's footnote 5 ("for all
+    data in our experiments, Louvain Method can compute partitions in a
+    few seconds").
+    """
+    min_gain = check_tolerance(min_gain, "min_gain")
+    rng = check_random_state(seed)
+    n = graph.n_nodes
+    if n == 0:
+        return Partition([])
+    working = _WeightedUndirected.from_digraph(graph)
+    # node_map[u] = community of original node u at the current level
+    node_map = np.arange(n, dtype=np.int64)
+    for _ in range(max_levels):
+        assignment, improved = _local_moving(working, rng, min_gain)
+        if not improved:
+            break
+        # Renumber communities compactly.
+        compact = Partition(assignment)
+        assignment = compact.assignment
+        k = compact.n_communities
+        node_map = assignment[node_map]
+        if k == working.n:
+            break
+        working = working.aggregate(assignment, k)
+    return Partition(node_map)

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the K-dash top-k RWR index.
+
+- :class:`~repro.core.kdash.KDash` — build-once / query-many index
+  combining the sparse triangular inverses (Section 4.2) with the
+  BFS-tree upper-bound pruning (Section 4.3, Algorithm 4);
+- :class:`~repro.core.estimator.ProximityEstimator` — Definitions 1–2,
+  the O(1) incremental upper bound;
+- :class:`~repro.core.bfs_tree.BFSTree` — layered visit order;
+- :class:`~repro.core.topk.TopKResult` — query result with search
+  statistics (visited / computed / pruned counts for Figures 7 and 9);
+- :mod:`repro.core.index_io` — index persistence.
+"""
+
+from .bfs_tree import BFSTree
+from .dynamic import DynamicKDash
+from .estimator import ProximityEstimator
+from .index_io import load_index, save_index
+from .kdash import KDash
+from .topk import TopKResult
+
+__all__ = [
+    "KDash",
+    "DynamicKDash",
+    "ProximityEstimator",
+    "BFSTree",
+    "TopKResult",
+    "save_index",
+    "load_index",
+]

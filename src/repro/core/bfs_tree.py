@@ -1,0 +1,98 @@
+"""The breadth-first visit schedule of the K-dash search (Section 4.3).
+
+The search "constructs a single breadth-first search tree rooted at the
+query node" and visits nodes in ascending layer order.  :class:`BFSTree`
+packages that schedule and additionally supports the two situations the
+paper's pseudocode leaves implicit:
+
+- **Unreachable nodes** (not in the tree): their proximity w.r.t. the
+  root-as-query is exactly zero, so with the default root they are never
+  scheduled.  For exactness bookkeeping they are exposed via
+  :meth:`unreached`.
+- **Root override** (the Figure 9 ablation selects a *random* root): the
+  query may then be unreachable from the root, and non-tree nodes may
+  have nonzero proximities.  In that mode every non-tree node is
+  appended after the tree in a synthetic final layer; the BFS edge
+  property (an in-neighbour of ``u`` sits no more than one layer above
+  ``u``) still holds for the extended schedule, which is what keeps the
+  estimator's bound valid (see ``ProximityEstimator`` notes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from ..graph.traversal import UNREACHED, bfs_order
+from ..validation import check_node_id
+
+
+class BFSTree:
+    """Layered BFS visit schedule from a root node.
+
+    Parameters
+    ----------
+    graph:
+        The graph (traversal follows out-edges — the walk direction).
+    root:
+        Root node of the tree (the query node in normal operation).
+    include_unreached:
+        When ``True``, nodes outside the tree are appended after all tree
+        layers, in ascending id order, with layer ``max_layer + 1``.
+        Required when ``root`` is not the query node.
+    """
+
+    def __init__(self, graph: DiGraph, root: int, include_unreached: bool = False) -> None:
+        root = check_node_id(root, graph.n_nodes, "root")
+        order, layers = bfs_order(graph, root)
+        self.root = root
+        self.n_nodes = graph.n_nodes
+        self._tree_size = order.size
+        if include_unreached and order.size < graph.n_nodes:
+            extra = np.flatnonzero(layers == UNREACHED)
+            synthetic_layer = int(layers.max()) + 1
+            layers = layers.copy()
+            layers[extra] = synthetic_layer
+            order = np.concatenate([order, extra])
+        self.order = order
+        self.layers = layers
+
+    # ------------------------------------------------------------------
+    @property
+    def n_scheduled(self) -> int:
+        """Number of nodes in the visit schedule."""
+        return int(self.order.size)
+
+    @property
+    def n_tree_nodes(self) -> int:
+        """Number of nodes actually reachable from the root."""
+        return int(self._tree_size)
+
+    @property
+    def depth(self) -> int:
+        """Largest layer number in the schedule (0 for a single node)."""
+        if self.order.size == 0:
+            return 0
+        return int(self.layers[self.order].max())
+
+    def layer_of(self, node: int) -> int:
+        """Layer of ``node`` (:data:`UNREACHED` = -1 when unscheduled)."""
+        node = check_node_id(node, self.n_nodes, "node")
+        return int(self.layers[node])
+
+    def unreached(self) -> np.ndarray:
+        """Sorted ids of nodes absent from the schedule."""
+        return np.flatnonzero(self.layers == UNREACHED)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(node, layer)`` in visit order."""
+        for u in self.order:
+            yield int(u), int(self.layers[u])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BFSTree(root={self.root}, scheduled={self.n_scheduled}/"
+            f"{self.n_nodes}, depth={self.depth})"
+        )

@@ -1,0 +1,169 @@
+"""The tree-based proximity upper bound (Section 4.3, Definitions 1–2).
+
+For a node ``u`` visited in ascending layer order, the paper bounds its
+proximity by
+
+.. math::
+
+    \\bar p_u = c' \\Bigl( \\underbrace{\\sum_{v \\in V_{l_u-1}(u)} p_v A_{max}(v)}_{t_1}
+             + \\underbrace{\\sum_{v \\in V_{l_u}(u)} p_v A_{max}(v)}_{t_2}
+             + \\underbrace{\\bigl(1 - \\sum_{v \\in V_s} p_v\\bigr) A_{max}}_{t_3} \\Bigr)
+
+with ``c' = (1-c)/(1 - A_{uu} + c A_{uu})``.  The three terms cover,
+respectively, selected nodes one layer above ``u``, selected nodes on
+``u``'s own layer, and all still-unselected probability mass.  Lemma 1
+proves :math:`\\bar p_u \\ge p_u`; Lemma 2 proves the bound is
+non-increasing across layers, so the first visited node whose bound drops
+below the running K-th best proximity terminates the whole search.
+
+This class realises Definition 2's O(1) incremental maintenance:
+
+- ``t1``/``t2`` shift when the visit advances a layer (``t1 ← t2; t2 ← 0``);
+- recording a selected node adds ``p_u · A_{max}(u)`` to ``t2`` and ``p_u``
+  to the selected-mass accumulator behind ``t3``.
+
+Three deliberate deviations from the paper's letter (all documented in
+DESIGN.md and required for soundness or tightness):
+
+1. In Definition 2's ``u' = q`` case the paper writes ``(1-p_q)·Amax(u)``;
+   Definition 1 requires the *global* ``Amax`` there, which is what this
+   implementation uses (tracking the selected mass directly makes ``t3``
+   exact under either reading).
+2. With self-loops, ``c'`` varies per node and Lemma 2's monotonicity
+   argument needs the *largest* ``c'`` to make termination safe; we use
+   ``c'_max = (1-c)/(1-(1-c)·max_u A_{uu})`` for every bound.  On
+   self-loop-free graphs (all paper datasets) this is exactly ``1-c``.
+3. The paper's ``t3`` assumes ``Σ_v p_v = 1``, which fails on graphs with
+   dangling nodes (zero transition columns leak walk mass).  The K-dash
+   index precomputes the exact per-query total ``S(q) = c·1ᵀW⁻¹e_q`` and
+   passes it as ``total_mass``; the bound stays valid *and* regains the
+   tightness the paper's derivation intends.  With no dangling nodes
+   ``S(q) = 1`` and the formulas coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..validation import check_node_id, check_restart_probability
+
+
+class ProximityEstimator:
+    """Incrementally maintained upper bound on RWR proximities.
+
+    Parameters
+    ----------
+    amax_col:
+        ``Amax(v)`` per node: the maximum entry of column ``v`` of the
+        transition matrix (largest one-step probability out of ``v``).
+    amax:
+        Global maximum ``Amax`` of the transition matrix.
+    diag:
+        Diagonal of the transition matrix (``A_uu``, self-loop mass).
+    c:
+        Restart probability.
+    query:
+        The query node ``q`` (its bound is the constant 1).
+
+    Usage protocol (enforced): for each node in the visit schedule call
+    :meth:`step` once to obtain its bound; if the node is then selected
+    (exact proximity computed) call :meth:`record` before stepping to the
+    next node.
+    """
+
+    def __init__(
+        self,
+        amax_col: np.ndarray,
+        amax: float,
+        diag: np.ndarray,
+        c: float,
+        query: int,
+        total_mass: float = 1.0,
+    ) -> None:
+        c = check_restart_probability(c)
+        self._amax_col = np.asarray(amax_col, dtype=np.float64)
+        n = self._amax_col.size
+        self._amax = float(amax)
+        diag = np.asarray(diag, dtype=np.float64)
+        if diag.shape != (n,):
+            raise InvalidParameterError(
+                f"diag has shape {diag.shape}, expected ({n},)"
+            )
+        self._query = check_node_id(query, n, "query")
+        max_diag = float(diag.max()) if n else 0.0
+        # c'_max: sound for every node, exact (1-c) without self-loops.
+        self._c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
+        total_mass = float(total_mass)
+        if not (0.0 <= total_mass <= 1.0 + 1e-9):
+            raise InvalidParameterError(
+                f"total_mass must lie in [0, 1], got {total_mass!r}"
+            )
+        # The paper's t3 uses total mass 1 ("since p_v is probability,
+        # sum_{v not in Vs} p_v = 1 - sum_{v in Vs} p_v"), which holds
+        # only for dangling-free graphs.  Passing the exact per-query
+        # total sum(p) keeps the bound valid *and* tight when transition
+        # columns leak mass; 1.0 reproduces the paper's bound verbatim.
+        self._total_mass = total_mass
+        self._t1 = 0.0
+        self._t2 = 0.0
+        self._selected_mass = 0.0
+        self._current_layer: int = -1
+        self._awaiting_record: int = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def c_prime(self) -> float:
+        """The (maximal) multiplier ``c'`` applied to the bound terms."""
+        return self._c_prime
+
+    @property
+    def selected_mass(self) -> float:
+        """Total exact proximity mass of recorded (selected) nodes."""
+        return self._selected_mass
+
+    def bound_terms(self) -> tuple:
+        """Current ``(t1, t2, t3)`` — exposed for tests of Definition 2."""
+        t3 = (self._total_mass - self._selected_mass) * self._amax
+        return self._t1, self._t2, t3
+
+    # ------------------------------------------------------------------
+    def step(self, node: int, layer: int) -> float:
+        """Advance the visit to ``node`` on ``layer``; return its bound.
+
+        Layers must be non-decreasing across calls (ascending-layer visit
+        order is precisely what Lemma 2 requires).
+        """
+        if layer < self._current_layer:
+            raise InvalidParameterError(
+                f"visit order regressed from layer {self._current_layer} "
+                f"to {layer}; the estimator requires ascending layers"
+            )
+        if layer == self._current_layer + 1:
+            # Definition 2, layer-advance case: yesterday's own-layer sum
+            # becomes today's layer-above sum.
+            self._t1 = self._t2
+            self._t2 = 0.0
+        elif layer > self._current_layer + 1:
+            # Layer skipped entirely (only possible with synthetic layers
+            # from a root override): no selected node can sit one layer
+            # above, so both terms reset (Lemma 2's l_u >= l_v - 2 case).
+            self._t1 = 0.0
+            self._t2 = 0.0
+        self._current_layer = layer
+        self._awaiting_record = node
+        if node == self._query:
+            return 1.0
+        t3 = (self._total_mass - self._selected_mass) * self._amax
+        return self._c_prime * (self._t1 + self._t2 + t3)
+
+    def record(self, node: int, proximity: float) -> None:
+        """Fold a selected node's exact proximity into the bound state."""
+        if node != self._awaiting_record:
+            raise InvalidParameterError(
+                f"record({node}) without a preceding step({node}); "
+                "the estimator protocol is step-then-record per node"
+            )
+        self._awaiting_record = -1
+        self._t2 += proximity * self._amax_col[node]
+        self._selected_mass += proximity

@@ -1,0 +1,131 @@
+"""Index persistence: save / load a built K-dash index.
+
+The paper's precomputation (reordering + LU + triangular inversion) is
+the expensive part; queries are sub-millisecond.  Persisting the index
+makes the precomputation a one-time cost per graph, the deployment model
+the paper assumes ("if we precompute and store ... we can get the
+proximities efficiently").
+
+Format: a single ``.npz`` archive holding the permutation, both sparse
+inverses (CSC/CSR triples), the estimator arrays, the restart
+probability, and the graph's weighted edge list (needed to rebuild the
+BFS schedule at query time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import IndexNotBuiltError, SerializationError
+from ..graph.digraph import DiGraph
+from ..ordering.permutation import Permutation
+from ..sparse import CSCMatrix, CSRMatrix
+from .kdash import KDash
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: KDash, path: str) -> None:
+    """Serialise a built index to ``path`` (numpy ``.npz``).
+
+    Raises
+    ------
+    IndexNotBuiltError
+        If ``index.build()`` has not run.
+    SerializationError
+        On I/O failure.
+    """
+    if not index.is_built:
+        raise IndexNotBuiltError("cannot save an index that has not been built")
+    graph = index.graph
+    edges = list(graph.edges())
+    src = np.asarray([u for u, _, _ in edges], dtype=np.int64)
+    dst = np.asarray([v for _, v, _ in edges], dtype=np.int64)
+    wgt = np.asarray([w for _, _, w in edges], dtype=np.float64)
+    labels = np.asarray(graph.labels if graph.labels is not None else [], dtype=object)
+    try:
+        np.savez_compressed(
+            path,
+            format_version=_FORMAT_VERSION,
+            n_nodes=graph.n_nodes,
+            c=index.c,
+            position=index._perm.position,
+            l_inv_indptr=index._l_inv.indptr,
+            l_inv_indices=index._l_inv.indices,
+            l_inv_data=index._l_inv.data,
+            u_inv_indptr=index._u_inv.indptr,
+            u_inv_indices=index._u_inv.indices,
+            u_inv_data=index._u_inv.data,
+            amax_col=index._amax_col,
+            amax=index._amax,
+            diag=index._diag,
+            edge_src=src,
+            edge_dst=dst,
+            edge_weight=wgt,
+            labels=labels,
+            allow_pickle=True,
+        )
+    except OSError as exc:
+        raise SerializationError(f"cannot write index to {path!r}: {exc}") from exc
+
+
+def load_index(path: str) -> KDash:
+    """Load an index previously written by :func:`save_index`.
+
+    The returned object is query-ready (``is_built`` is ``True``); its
+    ``build_report`` is ``None`` because the precomputation happened in a
+    previous process.
+    """
+    import pickle
+    import zipfile
+
+    try:
+        archive = np.load(path, allow_pickle=True)
+    except (OSError, ValueError, EOFError, pickle.UnpicklingError, zipfile.BadZipFile) as exc:
+        raise SerializationError(f"cannot read index from {path!r}: {exc}") from exc
+    version = int(archive["format_version"])
+    if version != _FORMAT_VERSION:
+        raise SerializationError(
+            f"index format version {version} not supported (expected {_FORMAT_VERSION})"
+        )
+    n = int(archive["n_nodes"])
+    labels_arr = archive["labels"]
+    labels = [str(x) for x in labels_arr] if labels_arr.size else None
+    graph = DiGraph(n, labels=labels)
+    for u, v, w in zip(archive["edge_src"], archive["edge_dst"], archive["edge_weight"]):
+        graph.add_edge(int(u), int(v), float(w))
+
+    index = KDash(graph, c=float(archive["c"]))
+    index._perm = Permutation(archive["position"])
+    index._l_inv = CSCMatrix(
+        (n, n),
+        archive["l_inv_indptr"],
+        archive["l_inv_indices"],
+        archive["l_inv_data"],
+    )
+    index._u_inv = CSRMatrix(
+        (n, n),
+        archive["u_inv_indptr"],
+        archive["u_inv_indices"],
+        archive["u_inv_data"],
+    )
+    index._u_inv_scipy = index._u_inv.to_scipy()
+    index._amax_col = np.asarray(archive["amax_col"], dtype=np.float64)
+    index._amax = float(archive["amax"])
+    index._diag = np.asarray(archive["diag"], dtype=np.float64)
+
+    # Rebuild the query-path acceleration structures exactly as build()
+    # does (they are derived data, cheaper to recompute than to store).
+    adj = graph.adjacency_csc().to_scipy()
+    index._adj_indptr = adj.indptr
+    index._adj_indices = adj.indices
+    index._succ_lists = [
+        adj.indices[adj.indptr[u] : adj.indptr[u + 1]].tolist() for u in range(n)
+    ]
+    index._position_list = index._perm.position.tolist()
+    ones = np.ones(n, dtype=np.float64)
+    index._l_inv_scipy = index._l_inv.to_scipy()
+    column_sums = index._l_inv_scipy.T @ (index._u_inv_scipy.T @ ones)
+    index._total_mass_perm = np.minimum(1.0, index.c * column_sums + 1e-12)
+    index._built = True
+    return index

@@ -1,0 +1,756 @@
+"""K-dash: the exact top-k RWR search index (Sections 4.2–4.4).
+
+Build phase (:meth:`KDash.build`):
+
+1. reorder the nodes with one of the Section 4.2.2 heuristics;
+2. form ``W = I - (1-c) A'`` over the reordered transition matrix;
+3. LU-factorise ``W`` without pivoting (Equations 6–7);
+4. invert the triangular factors sparsely (Equations 4–5), storing
+   ``L^-1`` column-wise and ``U^-1`` row-wise;
+5. precompute the estimator inputs ``Amax``, ``Amax(v)`` and ``A_vv``.
+
+Query phase (:meth:`KDash.top_k`, Algorithm 4): scatter column ``q`` of
+``L^-1`` into a dense workspace, walk the BFS tree of the query in
+ascending layer order, maintain the Definition 2 upper bound in O(1) per
+node, and evaluate ``p_u = c · U^-1[u,:] · y`` only while the bound stays
+at or above the running K-th best proximity θ.  Lemmas 1–2 make the first
+bound violation a certificate that *every* remaining node is out, so the
+search stops — exactness without exhaustive computation (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import DecompositionError, IndexNotBuiltError
+from ..graph.digraph import DiGraph
+from ..graph.matrices import column_normalized_adjacency, rwr_system_matrix
+from ..lu.crout import crout_lu
+from ..lu.fillin import FillInReport, fill_in_report
+from ..lu.inverse import triangular_inverses
+from ..lu.scipy_backend import superlu_lu
+from ..ordering import ReorderingStrategy, get_reordering
+from ..sparse import sparse_column_max
+from ..sparse.csc import CSCMatrix
+from ..validation import check_choice, check_k, check_node_id, check_restart_probability
+from .bfs_tree import BFSTree
+from .estimator import ProximityEstimator
+from .topk import TopKResult, rank_items
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Timings and sizes recorded during :meth:`KDash.build`.
+
+    ``reorder_seconds`` / ``lu_seconds`` / ``inverse_seconds`` decompose
+    the precomputation cost (Figure 6); ``fill_in`` carries the nonzero
+    accounting of Figure 5.
+    """
+
+    reorder_seconds: float
+    lu_seconds: float
+    inverse_seconds: float
+    total_seconds: float
+    fill_in: FillInReport
+    lu_backend_used: str
+
+
+class KDash:
+    """Exact top-k random-walk-with-restart search.
+
+    Parameters
+    ----------
+    graph:
+        The weighted directed graph.
+    c:
+        Restart probability in ``(0, 1)``; the paper uses 0.95.
+    reordering:
+        ``"hybrid"`` (paper default), ``"degree"``, ``"cluster"``,
+        ``"random"``, ``"identity"``, or a
+        :class:`~repro.ordering.base.ReorderingStrategy` instance.
+    lu_backend:
+        ``"auto"`` (SuperLU with pure-Python fallback), ``"scipy"``, or
+        ``"crout"`` (the from-scratch Equations 6–7 kernel).
+    inverse_backend:
+        Forwarded to :func:`repro.lu.inverse.triangular_inverses`.
+    reordering_seed:
+        Seed for the stochastic reorderings (Louvain sweeps / random).
+
+    Examples
+    --------
+    >>> from repro.graph import star_graph
+    >>> index = KDash(star_graph(4), c=0.9).build()
+    >>> result = index.top_k(query=0, k=2)
+    >>> result.nodes[0]
+    0
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        c: float = 0.95,
+        reordering="hybrid",
+        lu_backend: str = "auto",
+        inverse_backend: str = "auto",
+        reordering_seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.c = check_restart_probability(c)
+        if isinstance(reordering, ReorderingStrategy):
+            self._strategy = reordering
+        else:
+            kwargs = {}
+            if reordering in ("cluster", "hybrid", "random"):
+                kwargs["seed"] = reordering_seed
+            self._strategy = get_reordering(reordering, **kwargs)
+        self.lu_backend = check_choice(lu_backend, ("auto", "scipy", "crout"), "lu_backend")
+        self.inverse_backend = check_choice(
+            inverse_backend, ("auto", "scipy", "reach"), "inverse_backend"
+        )
+        self._built = False
+        self.build_report: Optional[BuildReport] = None
+
+    # ------------------------------------------------------------------
+    # Build phase
+    # ------------------------------------------------------------------
+    def build(self) -> "KDash":
+        """Run the precomputation; returns ``self`` for chaining."""
+        t_start = time.perf_counter()
+        adjacency = column_normalized_adjacency(self.graph)
+
+        t0 = time.perf_counter()
+        self._perm = self._strategy.compute(self.graph)
+        reorder_seconds = time.perf_counter() - t0
+
+        permuted = self._perm.permute_matrix(adjacency)
+        w = rwr_system_matrix(permuted, self.c)
+
+        t0 = time.perf_counter()
+        ell, u, backend_used = self._factorise(w)
+        lu_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        self._l_inv, self._u_inv = triangular_inverses(
+            ell, u, backend=self.inverse_backend
+        )
+        inverse_seconds = time.perf_counter() - t0
+
+        # scipy CSR copy of U^-1 for vectorised full-vector products
+        # (used by the prune=False ablation and proximity_column).
+        self._u_inv_scipy = self._u_inv.to_scipy()
+
+        # Adjacency structure in array form for the lazy BFS of the
+        # query loop: successors(u) = _adj_indices[_adj_indptr[u]:...].
+        adj = self.graph.adjacency_csc().to_scipy()
+        self._adj_indptr = adj.indptr
+        self._adj_indices = adj.indices
+        # Plain-Python mirrors for the hot search loop: at the typical
+        # out-degrees of real graphs (<~10), list iteration beats numpy
+        # slicing by a wide margin, and the query loop is pure overhead
+        # around one numpy dot per visited node.
+        self._succ_lists = [
+            adj.indices[adj.indptr[u] : adj.indptr[u + 1]].tolist()
+            for u in range(self.graph.n_nodes)
+        ]
+        self._position_list = self._perm.position.tolist()
+
+        # Exact per-query total proximity mass S(q) = c * 1^T W^-1 e_q,
+        # indexed by permuted position.  Feeds the estimator's t3 term:
+        # the paper assumes S(q) = 1, which only holds without dangling
+        # nodes; using the exact value keeps the bound valid and tight
+        # (see ProximityEstimator docs).  The 1e-12 cushion absorbs
+        # floating-point underestimation; the clamp keeps it a probability.
+        n = self.graph.n_nodes
+        ones = np.ones(n, dtype=np.float64)
+        # scipy CSC copy of L^-1 (kept: the dynamic-update wrapper and
+        # personalised queries need full W^-1-vector products).
+        self._l_inv_scipy = self._l_inv.to_scipy()
+        column_sums = self._l_inv_scipy.T @ (self._u_inv_scipy.T @ ones)
+        self._total_mass_perm = np.minimum(1.0, self.c * column_sums + 1e-12)
+
+        # Estimator inputs live in *original* node order.
+        adjacency_kernel = CSCMatrix.from_scipy(adjacency)
+        self._amax_col = sparse_column_max(adjacency_kernel)
+        self._amax = float(self._amax_col.max()) if self._amax_col.size else 0.0
+        self._diag = adjacency.diagonal()
+
+        self.build_report = BuildReport(
+            reorder_seconds=reorder_seconds,
+            lu_seconds=lu_seconds,
+            inverse_seconds=inverse_seconds,
+            total_seconds=time.perf_counter() - t_start,
+            fill_in=fill_in_report(self.graph.n_edges, ell, u, self._l_inv, self._u_inv),
+            lu_backend_used=backend_used,
+        )
+        self._built = True
+        return self
+
+    def _factorise(self, w: sp.csc_matrix):
+        """Apply the configured LU backend, with auto-fallback."""
+        if self.lu_backend == "crout":
+            ell, u = crout_lu(w)
+            return ell, u, "crout"
+        if self.lu_backend == "scipy":
+            ell, u = superlu_lu(w)
+            return ell, u, "scipy"
+        try:
+            ell, u = superlu_lu(w)
+            return ell, u, "scipy"
+        except DecompositionError:
+            ell, u = crout_lu(w)
+            return ell, u, "crout"
+
+    # ------------------------------------------------------------------
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexNotBuiltError(
+                "KDash index not built; call .build() before querying"
+            )
+
+    @property
+    def index_nnz(self) -> int:
+        """Stored nonzeros of ``L^-1`` + ``U^-1`` (the index footprint)."""
+        self._require_built()
+        return self._l_inv.nnz + self._u_inv.nnz
+
+    # ------------------------------------------------------------------
+    # Query phase
+    # ------------------------------------------------------------------
+    def _query_workspace(self, query: int) -> np.ndarray:
+        """Dense scatter of column ``position[q]`` of ``L^-1``."""
+        qpos = int(self._perm.position[query])
+        rows, vals = self._l_inv.column(qpos)
+        y = np.zeros(self.graph.n_nodes, dtype=np.float64)
+        y[rows] = vals
+        return y
+
+    def proximity(self, query: int, node: int) -> float:
+        """Exact proximity of a single ``(query, node)`` pair.
+
+        Cost: one sparse column scatter plus one sparse row dot
+        (Equation 3).  For many nodes against the same query, use
+        :meth:`top_k` or :meth:`proximity_column` instead.
+        """
+        self._require_built()
+        query = check_node_id(query, self.graph.n_nodes, "query")
+        node = check_node_id(node, self.graph.n_nodes, "node")
+        y = self._query_workspace(query)
+        return self.c * self._u_inv.row_dot(int(self._perm.position[node]), y)
+
+    def proximity_column(self, query: int) -> np.ndarray:
+        """The full exact proximity vector for ``query``, original order.
+
+        Vectorised through the scipy copy of ``U^-1``; used by tests and
+        the no-pruning ablation.
+        """
+        self._require_built()
+        query = check_node_id(query, self.graph.n_nodes, "query")
+        y = self._query_workspace(query)
+        permuted = self.c * (self._u_inv_scipy @ y)
+        return self._perm.unpermute_vector(permuted)
+
+    def top_k(
+        self,
+        query: int,
+        k: int = 5,
+        prune: bool = True,
+        root: Optional[int] = None,
+    ) -> TopKResult:
+        """Find the ``k`` nodes with highest proximity w.r.t. ``query``.
+
+        Parameters
+        ----------
+        query:
+            The query node ``q``.
+        k:
+            Number of answers ``K``.
+        prune:
+            ``False`` disables the tree estimation entirely and computes
+            every scheduled node — the "Without pruning" ablation of
+            Figure 7.  The answer set is identical either way.
+        root:
+            Override for the BFS root (default: the query node).  Used by
+            the Figure 9 ablation; any override schedules *all* nodes and
+            keeps exactness by never terminating before the query node
+            itself has been evaluated.
+
+        Returns
+        -------
+        TopKResult
+            Ranked answers plus search counters.
+        """
+        self._require_built()
+        n = self.graph.n_nodes
+        query = check_node_id(query, n, "query")
+        k = check_k(k)
+        if root is not None:
+            root = check_node_id(root, n, "root")
+
+        y = self._query_workspace(query)
+
+        if not prune:
+            tree = BFSTree(
+                self.graph,
+                query if root is None else root,
+                include_unreached=root is not None,
+            )
+            return self._top_k_exhaustive(query, k, tree, y)
+        if root is not None and root != query:
+            return self._top_k_root_override(query, k, root, y)
+        return self._top_k_pruned(query, k, y)
+
+    def _top_k_pruned(self, query: int, k: int, y: np.ndarray) -> TopKResult:
+        """Algorithm 4 with the BFS tree expanded lazily.
+
+        The visit sequence is exactly the BFS discovery order a full tree
+        would give, but nodes beyond the termination point are never even
+        discovered — so a heavily pruned query costs time proportional to
+        the visited neighbourhood, not to ``n + m`` (the practical
+        behaviour behind the paper's Figure 2 gap).
+        """
+        n = self.graph.n_nodes
+        position = self._position_list
+        c = self.c
+        succ_lists = self._succ_lists
+        # Local views of U^-1 (CSR) for the inlined row dot products.
+        uinv_indptr = self._u_inv.indptr.tolist()
+        uinv_indices = self._u_inv.indices
+        uinv_data = self._u_inv.data
+        amax_col = self._amax_col.tolist()
+        amax = self._amax
+
+        # The Definition 2 state machine, inlined for the hot loop (the
+        # class-based ProximityEstimator realises the same recurrences
+        # and is what tests verify; see repro/core/estimator.py):
+        #   t1 = sum of p_v*Amax(v) over selected nodes one layer up,
+        #   t2 = same over selected nodes on the current layer,
+        #   t3 = (1 - selected mass) * Amax.
+        max_diag = float(self._diag.max()) if n else 0.0
+        c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
+        t1 = 0.0
+        t2 = 0.0
+        selected_mass = 0.0
+        total_mass = float(self._total_mass_perm[position[query]])
+
+        # Candidate heap primed with K dummies of proximity 0 (Algorithm 4
+        # line 4); ties broken by visit sequence, which only affects which
+        # equal-proximity node is evicted, never correctness.
+        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
+        heapq.heapify(heap)
+        heapreplace = heapq.heapreplace
+        theta = 0.0
+        n_visited = 0
+        n_computed = 0
+        terminated_early = False
+        sequence = 0
+        seen = bytearray(n)
+        seen[query] = 1
+        # Layer-by-layer frontier lists reproduce FIFO BFS discovery order.
+        frontier: List[int] = [query]
+        layer = 0
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                n_visited += 1
+                bound = (
+                    1.0
+                    if node == query
+                    else c_prime * (t1 + t2 + (total_mass - selected_mass) * amax)
+                )
+                if bound < theta:
+                    # Lemma 2: every undiscovered node is bounded below
+                    # theta as well -> stop outright.
+                    terminated_early = True
+                    frontier = next_frontier = []
+                    break
+                pos = position[node]
+                lo, hi = uinv_indptr[pos], uinv_indptr[pos + 1]
+                proximity = c * (uinv_data[lo:hi] @ y[uinv_indices[lo:hi]])
+                n_computed += 1
+                t2 += proximity * amax_col[node]
+                selected_mass += proximity
+                if proximity > theta:
+                    sequence += 1
+                    heapreplace(heap, (proximity, sequence, node))
+                    theta = heap[0][0]
+                for child in succ_lists[node]:
+                    if not seen[child]:
+                        seen[child] = True
+                        next_frontier.append(child)
+            frontier = next_frontier
+            layer += 1
+            # Layer advance: own-layer sum becomes the layer-above sum
+            # (Definition 2's shift case).
+            t1 = t2
+            t2 = 0.0
+
+        items = [(node, p) for p, _, node in heap if node >= 0]
+        ranked = rank_items(items, k)
+        ranked, padded = self._pad(ranked, k)
+        return TopKResult(
+            query=query,
+            k=k,
+            items=ranked,
+            n_visited=n_visited,
+            n_computed=n_computed,
+            n_pruned=n - n_visited,
+            terminated_early=terminated_early,
+            padded=padded,
+        )
+
+    def _top_k_root_override(
+        self, query: int, k: int, root: int, y: np.ndarray
+    ) -> TopKResult:
+        """The Figure 9 ablation: BFS tree rooted away from the query.
+
+        All nodes are scheduled (tree layers first, non-tree nodes in a
+        synthetic final layer).  Exactness needs one extra rule: the
+        query node's bound is the constant 1, which breaks Lemma 2's
+        monotone chain, so termination may only fire once the query has
+        been evaluated; before that, bound violations merely *skip* the
+        node (sound: theta is monotone and the node's own bound already
+        rules it out).
+        """
+        tree = BFSTree(self.graph, root, include_unreached=True)
+        position = self._perm.position
+        u_inv = self._u_inv
+        c = self.c
+        estimator = ProximityEstimator(
+            self._amax_col,
+            self._amax,
+            self._diag,
+            c,
+            query,
+            total_mass=float(self._total_mass_perm[position[query]]),
+        )
+        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
+        heapq.heapify(heap)
+        theta = 0.0
+        n_visited = 0
+        n_computed = 0
+        n_pruned = 0
+        terminated_early = False
+        query_seen = False
+        sequence = 0
+        for node, layer in tree:
+            n_visited += 1
+            bound = estimator.step(node, layer)
+            if bound < theta and node != query:
+                if query_seen:
+                    n_pruned += 1 + (tree.n_scheduled - n_visited)
+                    terminated_early = True
+                    break
+                n_pruned += 1
+                continue
+            if node == query:
+                query_seen = True
+            proximity = c * u_inv.row_dot(int(position[node]), y)
+            n_computed += 1
+            estimator.record(node, proximity)
+            if proximity > theta:
+                sequence += 1
+                heapq.heapreplace(heap, (proximity, sequence, node))
+                theta = heap[0][0]
+
+        items = [(node, p) for p, _, node in heap if node >= 0]
+        ranked = rank_items(items, k)
+        ranked, padded = self._pad(ranked, k)
+        return TopKResult(
+            query=query,
+            k=k,
+            items=ranked,
+            n_visited=n_visited,
+            n_computed=n_computed,
+            n_pruned=n_pruned,
+            terminated_early=terminated_early,
+            padded=padded,
+        )
+
+    def above_threshold(self, query: int, threshold: float) -> TopKResult:
+        """All nodes with proximity at least ``threshold``, exactly.
+
+        The dual of :meth:`top_k`: instead of a count budget, a proximity
+        floor.  The same Lemma 1/2 machinery applies with θ *fixed* at
+        the threshold — the first visited node whose bound drops below it
+        certifies that no unvisited node can reach it.  Useful when the
+        application has a relevance cut-off rather than a list length
+        (e.g. "every term with proximity ≥ 0.001").
+
+        Returns
+        -------
+        TopKResult
+            ``items`` holds **all** qualifying nodes (``k`` is set to the
+            answer size); never padded.
+        """
+        from ..exceptions import InvalidParameterError
+
+        self._require_built()
+        n = self.graph.n_nodes
+        query = check_node_id(query, n, "query")
+        threshold = float(threshold)
+        if not (threshold > 0.0) or not np.isfinite(threshold):
+            raise InvalidParameterError(
+                f"threshold must be a positive finite float, got {threshold!r}"
+            )
+        y = self._query_workspace(query)
+        position = self._position_list
+        uinv_indptr = self._u_inv.indptr.tolist()
+        uinv_indices = self._u_inv.indices
+        uinv_data = self._u_inv.data
+        amax_col = self._amax_col.tolist()
+        amax = self._amax
+        c = self.c
+        max_diag = float(self._diag.max()) if n else 0.0
+        c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
+        total_mass = float(self._total_mass_perm[position[query]])
+
+        t1 = 0.0
+        t2 = 0.0
+        selected_mass = 0.0
+        answers: List[Tuple[int, float]] = []
+        n_visited = 0
+        n_computed = 0
+        terminated_early = False
+        seen = bytearray(n)
+        seen[query] = 1
+        frontier: List[int] = [query]
+        succ_lists = self._succ_lists
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                n_visited += 1
+                bound = (
+                    1.0
+                    if node == query
+                    else c_prime * (t1 + t2 + (total_mass - selected_mass) * amax)
+                )
+                if bound < threshold:
+                    terminated_early = True
+                    frontier = next_frontier = []
+                    break
+                pos = position[node]
+                lo, hi = uinv_indptr[pos], uinv_indptr[pos + 1]
+                proximity = c * (uinv_data[lo:hi] @ y[uinv_indices[lo:hi]])
+                n_computed += 1
+                t2 += proximity * amax_col[node]
+                selected_mass += proximity
+                if proximity >= threshold:
+                    answers.append((node, proximity))
+                for child in succ_lists[node]:
+                    if not seen[child]:
+                        seen[child] = 1
+                        next_frontier.append(child)
+            frontier = next_frontier
+            t1 = t2
+            t2 = 0.0
+
+        ranked = rank_items(answers, len(answers)) if answers else ()
+        return TopKResult(
+            query=query,
+            k=len(ranked),
+            items=ranked,
+            n_visited=n_visited,
+            n_computed=n_computed,
+            n_pruned=n - n_visited,
+            terminated_early=terminated_early,
+            padded=False,
+        )
+
+    def top_k_personalized(
+        self,
+        restart,
+        k: int = 5,
+    ) -> TopKResult:
+        """Exact top-k for a *restart set* (Personalized PageRank).
+
+        The paper's footnote 6: "In Personalized PageRank, a random
+        particle returns to the start node set, not the start node."
+        K-dash extends naturally: the restart vector becomes a convex
+        combination of basis vectors, ``y`` a weighted sum of ``L^-1``
+        columns, the BFS tree becomes multi-source (all seeds on layer
+        0), and every bound argument goes through unchanged — seeds are
+        bounded by the trivial 1, non-seeds by Definition 1 (whose
+        derivation never used ``|restart| = 1``).
+
+        Parameters
+        ----------
+        restart:
+            Mapping ``{node: weight}`` with positive weights; weights are
+            normalised to sum to 1.
+        k:
+            Number of answers.
+
+        Returns
+        -------
+        TopKResult
+            ``result.query`` holds the smallest seed id (the full seed
+            set is not representable in the scalar field).
+        """
+        from ..exceptions import InvalidParameterError
+
+        n = self.graph.n_nodes
+        self._require_built()
+        k = check_k(k)
+        if not restart:
+            raise InvalidParameterError("restart set must not be empty")
+        seeds = {}
+        for node, weight in dict(restart).items():
+            node = check_node_id(node, n, "restart node")
+            weight = float(weight)
+            if not (weight > 0.0) or not np.isfinite(weight):
+                raise InvalidParameterError(
+                    f"restart weight for node {node} must be positive, got {weight!r}"
+                )
+            seeds[node] = weight
+        total_weight = sum(seeds.values())
+
+        # y = sum_i w_i * L^-1[:, pos_i]  (the multi-column scatter).
+        y = np.zeros(n, dtype=np.float64)
+        total_mass = 0.0
+        for node, weight in seeds.items():
+            share = weight / total_weight
+            pos = int(self._perm.position[node])
+            rows, vals = self._l_inv.column(pos)
+            y[rows] += share * vals
+            total_mass += share * float(self._total_mass_perm[pos])
+        total_mass = min(1.0, total_mass + 1e-12)
+
+        position = self._position_list
+        uinv_indptr = self._u_inv.indptr.tolist()
+        uinv_indices = self._u_inv.indices
+        uinv_data = self._u_inv.data
+        amax_col = self._amax_col.tolist()
+        amax = self._amax
+        c = self.c
+        max_diag = float(self._diag.max()) if n else 0.0
+        c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
+        seed_set = set(seeds)
+
+        t1 = 0.0
+        t2 = 0.0
+        selected_mass = 0.0
+        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
+        heapq.heapify(heap)
+        heapreplace = heapq.heapreplace
+        theta = 0.0
+        n_visited = 0
+        n_computed = 0
+        terminated_early = False
+        sequence = 0
+        seen = bytearray(n)
+        frontier: List[int] = sorted(seed_set)
+        for s in frontier:
+            seen[s] = 1
+        succ_lists = self._succ_lists
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                n_visited += 1
+                bound = (
+                    1.0
+                    if node in seed_set
+                    else c_prime * (t1 + t2 + (total_mass - selected_mass) * amax)
+                )
+                if bound < theta:
+                    terminated_early = True
+                    frontier = next_frontier = []
+                    break
+                pos = position[node]
+                lo, hi = uinv_indptr[pos], uinv_indptr[pos + 1]
+                proximity = c * (uinv_data[lo:hi] @ y[uinv_indices[lo:hi]])
+                n_computed += 1
+                t2 += proximity * amax_col[node]
+                selected_mass += proximity
+                if proximity > theta:
+                    sequence += 1
+                    heapreplace(heap, (proximity, sequence, node))
+                    theta = heap[0][0]
+                for child in succ_lists[node]:
+                    if not seen[child]:
+                        seen[child] = 1
+                        next_frontier.append(child)
+            frontier = next_frontier
+            t1 = t2
+            t2 = 0.0
+
+        items = [(node, p) for p, _, node in heap if node >= 0]
+        ranked = rank_items(items, k)
+        ranked, padded = self._pad(ranked, k)
+        return TopKResult(
+            query=min(seed_set),
+            k=k,
+            items=ranked,
+            n_visited=n_visited,
+            n_computed=n_computed,
+            n_pruned=n - n_visited,
+            terminated_early=terminated_early,
+            padded=padded,
+        )
+
+    def top_k_batch(
+        self,
+        queries,
+        k: int = 5,
+        prune: bool = True,
+    ) -> List[TopKResult]:
+        """Run :meth:`top_k` for a sequence of queries.
+
+        Convenience for recommendation-style workloads that rank against
+        many seeds; results are returned in input order.  The index is
+        shared, so this is simply the per-query cost times
+        ``len(queries)`` — there is no cross-query state.
+        """
+        return [self.top_k(int(q), k, prune=prune) for q in queries]
+
+    def _top_k_exhaustive(
+        self, query: int, k: int, tree: BFSTree, y: np.ndarray
+    ) -> TopKResult:
+        """The prune=False ablation: evaluate every scheduled node."""
+        permuted = self.c * (self._u_inv_scipy @ y)
+        full = self._perm.unpermute_vector(permuted)
+        pairs = [(int(u), float(full[u])) for u in tree.order]
+        ranked = rank_items(pairs, k)
+        ranked, padded = self._pad(ranked, k)
+        return TopKResult(
+            query=query,
+            k=k,
+            items=ranked,
+            n_visited=tree.n_scheduled,
+            n_computed=tree.n_scheduled,
+            n_pruned=0,
+            terminated_early=False,
+            padded=padded,
+        )
+
+    def _pad(
+        self, ranked: Tuple[Tuple[int, float], ...], k: int
+    ) -> Tuple[Tuple[Tuple[int, float], ...], bool]:
+        """Fill up to ``k`` items with zero-proximity nodes (ascending id).
+
+        Matches the brute-force canonical ordering: nodes unreachable
+        from the query have proximity exactly 0 and rank after every
+        reachable node, tie-broken by id.
+        """
+        n = self.graph.n_nodes
+        want = min(k, n)
+        if len(ranked) >= want:
+            return ranked[:want], False
+        present = {node for node, _ in ranked}
+        extra = []
+        for node in range(n):
+            if node not in present:
+                extra.append((node, 0.0))
+                if len(ranked) + len(extra) == want:
+                    break
+        return tuple(ranked) + tuple(extra), True

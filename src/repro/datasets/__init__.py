@@ -1,0 +1,35 @@
+"""Synthetic analogs of the paper's five evaluation datasets.
+
+The originals (FOLDOC Dictionary, Oregon AS Internet, cond-mat Citation,
+Epinions Social, EU Email) are public downloads the execution environment
+cannot fetch, so :mod:`repro.datasets.synthetic` generates deterministic
+graphs that land in the same structural regimes — the properties that
+actually drive the paper's experiments (degree skew for the reordering
+heuristics, community structure for Louvain, hub dominance for pruning;
+see the substitution table in DESIGN.md).  Sizes are scaled down ~20–100×
+to keep the full suite laptop-runnable; a ``scale`` knob restores larger
+sizes when desired.
+
+:func:`load_dataset` / :data:`DATASET_NAMES` are the registry interface
+the evaluation harness uses.
+"""
+
+from .registry import DATASET_NAMES, Dataset, load_dataset
+from .synthetic import (
+    citation_graph,
+    dictionary_graph,
+    email_graph,
+    internet_graph,
+    social_graph,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "load_dataset",
+    "dictionary_graph",
+    "internet_graph",
+    "citation_graph",
+    "social_graph",
+    "email_graph",
+]

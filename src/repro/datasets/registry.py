@@ -1,0 +1,111 @@
+"""Dataset registry: name-based access with per-process caching.
+
+The harness and benchmarks refer to datasets by the paper's names
+("Dictionary", "Internet", "Citation", "Social", "Email"); this module
+maps those names to the synthetic generators and caches built graphs so
+repeated experiment runs pay generation cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..exceptions import InvalidParameterError
+from ..graph.digraph import DiGraph
+from . import synthetic
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named dataset: the graph plus provenance metadata.
+
+    ``paper_n`` / ``paper_m`` record the size of the original public
+    dataset the synthetic graph substitutes for (see DESIGN.md).
+    """
+
+    name: str
+    graph: DiGraph
+    description: str
+    paper_n: int
+    paper_m: int
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes in the synthetic graph."""
+        return self.graph.n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Directed edges in the synthetic graph."""
+        return self.graph.n_edges
+
+
+_SPECS: Dict[str, Tuple[Callable[[float], DiGraph], str, int, int]] = {
+    "Dictionary": (
+        synthetic.dictionary_graph,
+        "FOLDOC-analog word network (term describes term)",
+        13_356,
+        120_238,
+    ),
+    "Internet": (
+        synthetic.internet_graph,
+        "Oregon-AS-analog autonomous-system topology",
+        22_963,
+        48_436,
+    ),
+    "Citation": (
+        synthetic.citation_graph,
+        "cond-mat-analog weighted co-authorship communities",
+        31_163,
+        120_029,
+    ),
+    "Social": (
+        synthetic.social_graph,
+        "Epinions-analog who-trusts-whom network",
+        131_828,
+        841_372,
+    ),
+    "Email": (
+        synthetic.email_graph,
+        "EU-email-analog directed message network",
+        265_214,
+        420_045,
+    ),
+}
+
+DATASET_NAMES = tuple(_SPECS)
+
+_CACHE: Dict[Tuple[str, float], Dataset] = {}
+
+
+def load_dataset(name: str, scale: float = 1.0) -> Dataset:
+    """Load (and cache) a dataset by paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case-sensitive, as in the paper).
+    scale:
+        Size multiplier forwarded to the generator.
+
+    Returns
+    -------
+    Dataset
+        Cached per ``(name, scale)`` within the process.
+    """
+    if name not in _SPECS:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; available: {list(DATASET_NAMES)}"
+        )
+    key = (name, float(scale))
+    if key not in _CACHE:
+        generator, description, paper_n, paper_m = _SPECS[name]
+        _CACHE[key] = Dataset(
+            name=name,
+            graph=generator(scale),
+            description=description,
+            paper_n=paper_n,
+            paper_m=paper_m,
+        )
+    return _CACHE[key]

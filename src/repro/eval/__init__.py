@@ -1,0 +1,32 @@
+"""Evaluation harness: metrics, timing, tables, per-figure experiments.
+
+:mod:`repro.eval.metrics` defines precision/recall/exactness the way the
+paper measures them ("precision is the fraction of answer nodes among
+top-k results by each approach that match those of the original iterative
+algorithm"); :mod:`repro.eval.harness` builds and caches the per-dataset
+method instances; :mod:`repro.eval.experiments` contains one module per
+paper table/figure, each returning a
+:class:`~repro.eval.reporting.ResultTable` that benchmarks and the
+EXPERIMENTS.md generator render.
+"""
+
+from .harness import ExperimentContext
+from .metrics import (
+    exactness_certificate,
+    kendall_tau_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from .reporting import ResultTable
+from .timing import Timer, time_callable
+
+__all__ = [
+    "ExperimentContext",
+    "precision_at_k",
+    "recall_at_k",
+    "kendall_tau_at_k",
+    "exactness_certificate",
+    "ResultTable",
+    "Timer",
+    "time_callable",
+]

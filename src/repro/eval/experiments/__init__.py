@@ -1,0 +1,30 @@
+"""One module per paper table/figure (see DESIGN.md experiment index).
+
+Each module exposes ``run(ctx, ...) -> ResultTable`` (Table 2 returns a
+list of tables).  The benchmarks under ``benchmarks/`` and the
+``repro.eval.run_all`` entry point are thin wrappers over these.
+"""
+
+from . import (
+    fig2_efficiency,
+    fig3_precision,
+    fig4_tradeoff,
+    fig5_nnz,
+    fig6_precompute,
+    fig7_pruning,
+    fig9_root_selection,
+    restart_sweep,
+    table2_case_study,
+)
+
+__all__ = [
+    "fig2_efficiency",
+    "fig3_precision",
+    "fig4_tradeoff",
+    "fig5_nnz",
+    "fig6_precompute",
+    "fig7_pruning",
+    "fig9_root_selection",
+    "restart_sweep",
+    "table2_case_study",
+]

@@ -1,0 +1,59 @@
+"""Figure 4 — wall-clock time vs. SVD target rank / number of hub nodes.
+
+The companion of Figure 3 (same Dictionary sweep): NB_LIN's query time
+*grows* with rank (its query is two n x r products), BPA's time *falls*
+as hubs increase (hub pushes retire residual mass in one step), and
+K-dash is flat — it has no inner parameter at all, the paper's
+"parameter-free" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..harness import ExperimentContext
+from ..reporting import ResultTable
+from ..timing import time_callable
+from .fig3_precision import DEFAULT_SWEEP
+
+
+def run(
+    ctx: ExperimentContext,
+    sweep: Sequence[int] = DEFAULT_SWEEP,
+    dataset: str = "Dictionary",
+    k: int = 5,
+    n_queries: int = 10,
+    repeats: int = 3,
+) -> ResultTable:
+    """Measure median per-query wall-clock across the parameter sweep."""
+    table = ResultTable(
+        f"Figure 4: wall-clock time [s] vs target rank / hub count ({dataset})",
+        ["rank_or_hubs", "NB_LIN", "BPA", "K-dash"],
+        notes=[
+            f"c={ctx.c}, K={k}, {n_queries} queries",
+            "expected shape: NB_LIN grows with rank; BPA falls with hubs; "
+            "K-dash flat (no inner parameter) and fastest",
+        ],
+    )
+    queries = ctx.queries(dataset, n_queries)
+    index = ctx.kdash(dataset)
+    kd_seconds, _ = time_callable(
+        lambda: [index.top_k(q, k) for q in queries], repeats=repeats
+    )
+    kd_per_query = kd_seconds / len(queries)
+    for value in sweep:
+        nb = ctx.nb_lin(dataset, value)
+        push = ctx.bpa(dataset, value)
+        nb_seconds, _ = time_callable(
+            lambda: [nb.top_k(q, k) for q in queries], repeats=repeats
+        )
+        bpa_seconds, _ = time_callable(
+            lambda: [push.top_k(q, k) for q in queries], repeats=1
+        )
+        table.add_row(
+            value,
+            nb_seconds / len(queries),
+            bpa_seconds / len(queries),
+            kd_per_query,
+        )
+    return table

@@ -1,0 +1,63 @@
+"""Figure 7 — effect of the tree-estimation pruning.
+
+Paper ablation: K-dash with the pruning technique removed ("Without
+pruning") computes the proximities of *all* nodes; the pruned search is
+"up to 1,020 times faster".  Both variants return identical answers
+(exactness does not depend on pruning), which the harness asserts.
+"""
+
+from __future__ import annotations
+
+from ..harness import ExperimentContext
+from ..reporting import ResultTable
+from ..timing import time_callable
+
+
+def run(
+    ctx: ExperimentContext,
+    k: int = 5,
+    n_queries: int = 8,
+    repeats: int = 3,
+) -> ResultTable:
+    """Median per-query time with and without pruning, per dataset."""
+    table = ResultTable(
+        f"Figure 7: effect of tree estimation (K={k}) [s]",
+        ["dataset", "K-dash", "Without pruning", "speed-up"],
+        notes=[
+            f"c={ctx.c}, {n_queries} queries; both variants verified to "
+            "return identical answers",
+            "expected shape: pruning wins on every dataset",
+        ],
+    )
+    for name in ctx.dataset_names:
+        queries = ctx.queries(name, n_queries)
+        index = ctx.kdash(name)
+        pruned_seconds, _ = time_callable(
+            lambda: [index.top_k(q, k) for q in queries], repeats=repeats
+        )
+        full_seconds, _ = time_callable(
+            lambda: [index.top_k(q, k, prune=False) for q in queries],
+            repeats=repeats,
+        )
+        import numpy as np
+
+        for q in queries:
+            with_pruning = index.top_k(q, k)
+            without = index.top_k(q, k, prune=False)
+            if not np.allclose(
+                sorted(with_pruning.proximities),
+                sorted(without.proximities),
+                atol=1e-12,
+            ):
+                raise AssertionError(
+                    f"pruning changed the answer on {name} query {q}"
+                )
+        per_pruned = pruned_seconds / len(queries)
+        per_full = full_seconds / len(queries)
+        table.add_row(
+            name,
+            per_pruned,
+            per_full,
+            per_full / per_pruned if per_pruned > 0 else None,
+        )
+    return table

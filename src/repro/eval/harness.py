@@ -1,0 +1,153 @@
+"""Shared experiment context: datasets, cached method builds, queries.
+
+Experiments share expensive artefacts — built K-dash indexes, SVD
+factorisations, hub-vector tables, exact proximity vectors — through an
+:class:`ExperimentContext`, so a full reproduction run builds each method
+once per (dataset, configuration) pair rather than once per figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import BasicPushAlgorithm, BLin, IterativeRWR, LocalRWR, NBLin
+from ..core import KDash
+from ..datasets import DATASET_NAMES, Dataset, load_dataset
+from ..rwr import direct_solve_rwr
+from ..validation import check_positive_int, check_random_state, check_restart_probability
+
+
+class ExperimentContext:
+    """Builds, caches and hands out everything experiments need.
+
+    Parameters
+    ----------
+    scale:
+        Dataset size multiplier (1.0 = defaults documented in
+        :mod:`repro.datasets.synthetic`).
+    c:
+        Restart probability shared by every method (paper: 0.95).
+    seed:
+        Seed for query sampling.
+    dataset_names:
+        Subset of datasets to use (default: all five).
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        c: float = 0.95,
+        seed: int = 1234,
+        dataset_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.scale = float(scale)
+        self.c = check_restart_probability(c)
+        self.seed = seed
+        self.dataset_names: Tuple[str, ...] = tuple(dataset_names or DATASET_NAMES)
+        self._kdash: Dict[Tuple[str, str], KDash] = {}
+        self._nb_lin: Dict[Tuple[str, int], NBLin] = {}
+        self._b_lin: Dict[Tuple[str, int], BLin] = {}
+        self._bpa: Dict[Tuple[str, int], BasicPushAlgorithm] = {}
+        self._local: Dict[str, LocalRWR] = {}
+        self._iterative: Dict[str, IterativeRWR] = {}
+        self._exact: Dict[Tuple[str, int], np.ndarray] = {}
+        self._queries: Dict[Tuple[str, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Datasets and queries
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> Dataset:
+        """The (cached) dataset for ``name`` at this context's scale."""
+        return load_dataset(name, self.scale)
+
+    def queries(self, name: str, count: int = 10) -> List[int]:
+        """Deterministic sample of query nodes with at least one out-edge.
+
+        Query nodes with outgoing edges make the searches non-degenerate
+        (a dangling query's only nonzero proximity is itself); sampling
+        is seeded so every experiment and benchmark sees the same
+        workload.
+        """
+        count = check_positive_int(count, "count")
+        key = (name, count)
+        if key not in self._queries:
+            import zlib
+
+            graph = self.dataset(name).graph
+            # zlib.crc32: stable across processes, unlike built-in hash().
+            rng = check_random_state(self.seed + zlib.crc32(name.encode()) % 65_536)
+            eligible = np.flatnonzero(graph.out_degree_array() > 0)
+            if eligible.size == 0:
+                eligible = np.arange(graph.n_nodes)
+            chosen = rng.choice(
+                eligible, size=min(count, eligible.size), replace=False
+            )
+            self._queries[key] = [int(u) for u in chosen]
+        return self._queries[key]
+
+    # ------------------------------------------------------------------
+    # Cached method builds
+    # ------------------------------------------------------------------
+    def kdash(self, name: str, reordering: str = "hybrid") -> KDash:
+        """A built K-dash index for ``(dataset, reordering)``."""
+        key = (name, reordering)
+        if key not in self._kdash:
+            index = KDash(
+                self.dataset(name).graph, c=self.c, reordering=reordering
+            )
+            self._kdash[key] = index.build()
+        return self._kdash[key]
+
+    def nb_lin(self, name: str, target_rank: int) -> NBLin:
+        """A built NB_LIN instance for ``(dataset, rank)``."""
+        key = (name, target_rank)
+        if key not in self._nb_lin:
+            self._nb_lin[key] = NBLin(
+                self.dataset(name).graph, c=self.c, target_rank=target_rank
+            ).build()
+        return self._nb_lin[key]
+
+    def b_lin(self, name: str, target_rank: int) -> BLin:
+        """A built B_LIN instance for ``(dataset, rank)``."""
+        key = (name, target_rank)
+        if key not in self._b_lin:
+            self._b_lin[key] = BLin(
+                self.dataset(name).graph, c=self.c, target_rank=target_rank
+            ).build()
+        return self._b_lin[key]
+
+    def bpa(self, name: str, n_hubs: int) -> BasicPushAlgorithm:
+        """A built Basic Push Algorithm instance for ``(dataset, hubs)``."""
+        key = (name, n_hubs)
+        if key not in self._bpa:
+            self._bpa[key] = BasicPushAlgorithm(
+                self.dataset(name).graph, c=self.c, n_hubs=n_hubs
+            ).build()
+        return self._bpa[key]
+
+    def local_rwr(self, name: str) -> LocalRWR:
+        """A built Sun-et-al. local RWR instance for ``dataset``."""
+        if name not in self._local:
+            self._local[name] = LocalRWR(self.dataset(name).graph, c=self.c).build()
+        return self._local[name]
+
+    def iterative(self, name: str) -> IterativeRWR:
+        """The iterative reference method for ``dataset``."""
+        if name not in self._iterative:
+            self._iterative[name] = IterativeRWR(
+                self.dataset(name).graph, c=self.c
+            ).build()
+        return self._iterative[name]
+
+    # ------------------------------------------------------------------
+    def exact_vector(self, name: str, query: int) -> np.ndarray:
+        """Cached exact proximity vector (direct sparse solve)."""
+        key = (name, query)
+        if key not in self._exact:
+            from ..graph.matrices import column_normalized_adjacency
+
+            a = column_normalized_adjacency(self.dataset(name).graph)
+            self._exact[key] = direct_solve_rwr(a, query, self.c)
+        return self._exact[key]

@@ -1,0 +1,122 @@
+"""Accuracy metrics, defined the way the paper measures them.
+
+Section 6.2: "We used precision as the metric of accuracy.  Precision is
+the fraction of answer nodes among top-k results by each approach that
+match those of the original iterative algorithm."  Ties in proximity make
+strict node-set comparison ill-posed, so :func:`precision_at_k` compares
+against the *tie-expanded* reference set (any node whose exact proximity
+ties the K-th value is an acceptable member), and
+:func:`exactness_certificate` is the strict criterion used to *prove* a
+method exact: reported proximities must match the reference values and
+every node strictly above the K-th value must be present.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+from ..core.topk import TopKResult
+from ..validation import check_k
+
+
+def _reference_sets(exact: np.ndarray, k: int, atol: float) -> (set, set):
+    """``(must_have, acceptable)`` node sets for top-k of ``exact``.
+
+    ``must_have``: nodes strictly above the K-th value (no valid top-k
+    can omit them).  ``acceptable``: those plus every node tying the K-th
+    value within ``atol``.
+    """
+    exact = np.asarray(exact, dtype=np.float64)
+    k = min(check_k(k), exact.size)
+    if k == 0:
+        return set(), set()
+    order = np.argsort(-exact, kind="stable")
+    theta = exact[order[k - 1]]
+    must = {int(u) for u in np.flatnonzero(exact > theta + atol)}
+    acceptable = {int(u) for u in np.flatnonzero(exact >= theta - atol)}
+    return must, acceptable
+
+
+def precision_at_k(
+    result_nodes: Sequence[int], exact: np.ndarray, k: int, atol: float = 1e-9
+) -> float:
+    """Fraction of the method's top-k that are valid exact top-k members.
+
+    Tie-tolerant: a returned node counts as correct if its exact
+    proximity is within ``atol`` of the K-th exact value or better.
+    """
+    k = min(check_k(k), len(np.asarray(exact)))
+    if k == 0:
+        return 1.0
+    _, acceptable = _reference_sets(exact, k, atol)
+    returned = list(result_nodes)[:k]
+    if not returned:
+        return 0.0
+    hits = sum(1 for u in returned if int(u) in acceptable)
+    return hits / k
+
+
+def recall_at_k(
+    result_nodes: Sequence[int], exact: np.ndarray, k: int, atol: float = 1e-9
+) -> float:
+    """Fraction of *mandatory* exact top-k members the method returned.
+
+    Mandatory = strictly above the K-th exact proximity; the metric under
+    which BPA's answer set guarantees 1.0.
+    """
+    must, _ = _reference_sets(exact, k, atol)
+    if not must:
+        return 1.0
+    returned: Set[int] = {int(u) for u in result_nodes}
+    return len(must & returned) / len(must)
+
+
+def kendall_tau_at_k(
+    result_nodes: Sequence[int], exact: np.ndarray, k: int
+) -> float:
+    """Kendall rank correlation between a method's top-k order and the
+    exact proximities of those same nodes (1.0 = perfectly ordered).
+
+    Degenerates to 1.0 for fewer than two returned nodes or constant
+    exact values.
+    """
+    from scipy.stats import kendalltau
+
+    returned = [int(u) for u in list(result_nodes)[:k]]
+    if len(returned) < 2:
+        return 1.0
+    exact = np.asarray(exact, dtype=np.float64)
+    reference = exact[returned]
+    if np.allclose(reference, reference[0]):
+        return 1.0
+    # The method's order is rank 0..k-1; compare against exact values.
+    tau, _ = kendalltau(-np.arange(len(returned)), reference)
+    return float(tau)
+
+
+def exactness_certificate(
+    result: TopKResult, exact: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """Strict exactness check for a claimed-exact method.
+
+    Holds iff (1) every reported proximity matches the reference value of
+    the reported node, (2) the sorted reported proximities match the true
+    top-k proximity values, and (3) every node strictly above the K-th
+    true value is present.  Robust to ties (where several node choices
+    are equally valid) yet impossible to satisfy with any wrong value.
+    """
+    exact = np.asarray(exact, dtype=np.float64)
+    k = min(result.k, exact.size)
+    if len(result.items) < k:
+        return False
+    for node, p in result.items:
+        if abs(exact[node] - p) > atol:
+            return False
+    top_true = np.sort(exact)[::-1][:k]
+    top_reported = np.sort(np.asarray(result.proximities))[::-1][:k]
+    if not np.allclose(top_true, top_reported, atol=atol):
+        return False
+    must, _ = _reference_sets(exact, k, atol)
+    return must <= result.node_set()

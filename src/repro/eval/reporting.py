@@ -1,0 +1,115 @@
+"""Plain-text result tables for experiment output.
+
+Every experiment module returns a :class:`ResultTable`; the benchmarks
+print it, and EXPERIMENTS.md embeds the markdown rendering.  Formatting
+rules: floats in scientific notation when small (wall-clock times span
+orders of magnitude, as in the paper's log-scale figures), thousands
+separators for counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+class ResultTable:
+    """A titled table of experiment results.
+
+    Parameters
+    ----------
+    title:
+        Table caption, e.g. ``"Figure 2: search wall-clock time [s]"``.
+    columns:
+        Ordered column names; the first is treated as the row key.
+    notes:
+        Optional free-text lines appended after the table (expected-shape
+        commentary, parameter records).
+    """
+
+    def __init__(
+        self,
+        title: str,
+        columns: Sequence[str],
+        notes: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[Cell]] = []
+        self.notes: List[str] = list(notes) if notes else []
+
+    # ------------------------------------------------------------------
+    def add_row(self, *values: Cell) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-text note rendered after the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Cell]:
+        """Values of a named column across all rows."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_dict(self, key: Cell) -> Dict[str, Cell]:
+        """The row whose first cell equals ``key``, as a dict."""
+        for row in self.rows:
+            if row[0] == key:
+                return dict(zip(self.columns, row))
+        raise KeyError(f"no row with key {key!r}")
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Fixed-width text rendering (for terminal output)."""
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(row[i].rjust(widths[i]) if i else row[i].ljust(widths[i]) for i in range(len(row))))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.render()

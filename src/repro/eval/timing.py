@@ -1,0 +1,57 @@
+"""Wall-clock measurement helpers.
+
+The paper evaluates "search performance through wall clock time"; these
+helpers standardise how the experiment modules measure it (median over
+repeats, perf_counter, warm-up excluded) so figures are comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..validation import check_positive_int
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = float("nan")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Tuple[float, object]:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs.
+
+    Returns ``(median_seconds, last_result)``.  ``warmup`` extra calls
+    run first and are discarded (caches, JIT-ish effects, lazy imports).
+    """
+    repeats = check_positive_int(repeats, "repeats")
+    result = None
+    for _ in range(max(0, warmup)):
+        result = fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples)), result

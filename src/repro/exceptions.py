@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause, while still
+being able to discriminate between configuration mistakes
+(:class:`InvalidParameterError`), malformed inputs (:class:`GraphError`,
+:class:`SparseMatrixError`), and numerical failures
+(:class:`DecompositionError`, :class:`ConvergenceError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its documented domain.
+
+    Examples: a restart probability outside ``(0, 1)``, a non-positive
+    ``k``, or an unknown reordering strategy name.
+    """
+
+
+class GraphError(ReproError, ValueError):
+    """A graph argument is structurally invalid for the requested operation.
+
+    Examples: an edge referencing a node id that is out of range, a
+    negative edge weight where probabilities are required, or an empty
+    graph passed to an algorithm that needs at least one node.
+    """
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id does not exist in the graph."""
+
+    def __init__(self, node: int, n_nodes: int) -> None:
+        super().__init__(
+            f"node {node!r} does not exist (graph has {n_nodes} nodes, "
+            f"valid ids are 0..{n_nodes - 1})"
+        )
+        self.node = node
+        self.n_nodes = n_nodes
+
+
+class SparseMatrixError(ReproError, ValueError):
+    """A sparse matrix argument is malformed or incompatible.
+
+    Examples: mismatched ``indptr`` length, indices out of bounds, or a
+    shape mismatch in a matrix product.
+    """
+
+
+class DecompositionError(ReproError, RuntimeError):
+    """An LU decomposition (or triangular inversion) failed numerically.
+
+    This should not happen for matrices of the form ``I - (1-c)A`` with a
+    column-stochastic ``A`` and ``0 < c < 1`` (they are strictly column
+    diagonally dominant), so seeing it usually signals a caller-built
+    matrix that violates those preconditions.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method exhausted its iteration budget before converging."""
+
+    def __init__(self, method: str, iterations: int, residual: float, tol: float) -> None:
+        super().__init__(
+            f"{method} did not converge within {iterations} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})"
+        )
+        self.method = method
+        self.iterations = iterations
+        self.residual = residual
+        self.tol = tol
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """A query was issued against an index whose ``build()`` has not run."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """An index or graph could not be saved to / loaded from disk."""

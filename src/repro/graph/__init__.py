@@ -1,0 +1,50 @@
+"""Graph substrate: directed weighted graphs, generators, I/O, traversal.
+
+The paper's algorithms operate on a weighted directed graph whose
+column-normalised adjacency matrix ``A`` defines the random walk
+(Section 3, Table 1).  :class:`~repro.graph.digraph.DiGraph` is the
+adjacency-list structure every component consumes;
+:mod:`repro.graph.matrices` turns it into transition matrices,
+:mod:`repro.graph.traversal` provides the BFS layering that drives the
+tree estimator, and :mod:`repro.graph.generators` supplies the synthetic
+topologies backing the five evaluation datasets.
+"""
+
+from .digraph import DiGraph
+from .generators import (
+    barabasi_albert_graph,
+    bipartite_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    planted_partition_graph,
+    scale_free_digraph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from .io import read_edge_list, write_edge_list
+from .matrices import column_normalized_adjacency, rwr_system_matrix
+from .statistics import GraphStatistics, degree_histogram, graph_statistics
+from .traversal import bfs_layers, bfs_order, connected_components, reachable_set
+
+__all__ = [
+    "DiGraph",
+    "barabasi_albert_graph",
+    "bipartite_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "planted_partition_graph",
+    "scale_free_digraph",
+    "star_graph",
+    "watts_strogatz_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "column_normalized_adjacency",
+    "rwr_system_matrix",
+    "GraphStatistics",
+    "degree_histogram",
+    "graph_statistics",
+    "bfs_layers",
+    "bfs_order",
+    "connected_components",
+    "reachable_set",
+]

@@ -1,0 +1,269 @@
+"""Random graph generators used by tests and the synthetic datasets.
+
+All generators are deterministic given a ``seed`` and return
+:class:`~repro.graph.digraph.DiGraph`.  They implement, from scratch, the
+standard models needed to emulate the structural regimes of the paper's
+five evaluation datasets (see DESIGN.md Section 4):
+
+- :func:`erdos_renyi_graph` — homogeneous random baseline;
+- :func:`barabasi_albert_graph` — preferential attachment (Internet AS);
+- :func:`scale_free_digraph` — directed heavy-tailed in/out degrees
+  (Dictionary, Social, Email);
+- :func:`planted_partition_graph` — community structure (Citation);
+- :func:`watts_strogatz_graph`, :func:`grid_graph`, :func:`star_graph`,
+  :func:`bipartite_graph` — small structured topologies for unit tests
+  and the example applications.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..validation import (
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+from .digraph import DiGraph
+
+
+def _add_symmetric(graph: DiGraph, u: int, v: int, weight: float = 1.0) -> None:
+    """Add ``u -> v`` and ``v -> u`` (skips duplicates via accumulate)."""
+    graph.add_edge(u, v, weight)
+    graph.add_edge(v, u, weight)
+
+
+def erdos_renyi_graph(
+    n: int, p: float, directed: bool = True, seed=None
+) -> DiGraph:
+    """G(n, p): every ordered pair gets an edge independently with prob ``p``.
+
+    Self-loops are excluded.  For ``directed=False`` the result is a
+    symmetric digraph (each undirected edge stored in both directions).
+    """
+    n = check_positive_int(n, "n")
+    p = check_probability(p, "p")
+    rng = check_random_state(seed)
+    g = DiGraph(n)
+    if p == 0.0 or n == 1:
+        return g
+    if directed:
+        mask = rng.random((n, n)) < p
+        np.fill_diagonal(mask, False)
+        for u, v in zip(*np.nonzero(mask)):
+            g.add_edge(int(u), int(v))
+    else:
+        mask = np.triu(rng.random((n, n)) < p, k=1)
+        for u, v in zip(*np.nonzero(mask)):
+            _add_symmetric(g, int(u), int(v))
+    return g
+
+
+def barabasi_albert_graph(n: int, m_attach: int, seed=None) -> DiGraph:
+    """Barabási–Albert preferential attachment (undirected, symmetrised).
+
+    Each new node attaches to ``m_attach`` existing nodes chosen with
+    probability proportional to their degree — the classic model for the
+    Internet AS topology's power-law degree distribution.
+    """
+    n = check_positive_int(n, "n")
+    m_attach = check_positive_int(m_attach, "m_attach")
+    if m_attach >= n:
+        raise InvalidParameterError(
+            f"m_attach must be < n, got m_attach={m_attach}, n={n}"
+        )
+    rng = check_random_state(seed)
+    g = DiGraph(n)
+    # Seed clique of m_attach + 1 nodes so the first attachments have targets.
+    for i in range(m_attach + 1):
+        for j in range(i + 1, m_attach + 1):
+            _add_symmetric(g, i, j)
+    # `repeated` holds one copy of a node id per incident edge end, so
+    # uniform sampling from it is degree-proportional sampling.
+    repeated = [i for i in range(m_attach + 1) for _ in range(m_attach)]
+    for new in range(m_attach + 1, n):
+        chosen: set = set()
+        while len(chosen) < m_attach:
+            chosen.add(int(repeated[rng.integers(0, len(repeated))]))
+        for t in chosen:
+            _add_symmetric(g, new, t)
+            repeated.append(t)
+            repeated.append(new)
+    return g
+
+
+def scale_free_digraph(
+    n: int,
+    m_edges: int,
+    out_exponent: float = 2.2,
+    in_exponent: float = 2.2,
+    reciprocity: float = 0.0,
+    seed=None,
+) -> DiGraph:
+    """Directed graph with heavy-tailed in- and out-degree distributions.
+
+    Implements a fitness (static) model: node ``u`` receives out-fitness
+    ``(u+1)^{-1/(out_exponent-1)}`` and in-fitness analogously; ``m_edges``
+    distinct edges are sampled with probability proportional to the
+    product of the endpoints' fitnesses.  With ``reciprocity > 0`` each
+    edge's reverse is also added with that probability, matching the
+    mutual-trust structure of social networks such as Epinions.
+    """
+    n = check_positive_int(n, "n")
+    m_edges = check_positive_int(m_edges, "m_edges")
+    reciprocity = check_probability(reciprocity, "reciprocity")
+    if out_exponent <= 1.0 or in_exponent <= 1.0:
+        raise InvalidParameterError("degree exponents must exceed 1")
+    rng = check_random_state(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    out_fit = ranks ** (-1.0 / (out_exponent - 1.0))
+    in_fit = ranks ** (-1.0 / (in_exponent - 1.0))
+    # Shuffle fitness assignments so node id does not encode degree.
+    out_fit = out_fit[rng.permutation(n)]
+    in_fit = in_fit[rng.permutation(n)]
+    out_p = out_fit / out_fit.sum()
+    in_p = in_fit / in_fit.sum()
+    g = DiGraph(n)
+    seen: set = set()
+    attempts = 0
+    max_attempts = 50 * m_edges
+    while len(seen) < m_edges and attempts < max_attempts:
+        batch = min(m_edges, 4 * (m_edges - len(seen)) + 16)
+        sources = rng.choice(n, size=batch, p=out_p)
+        targets = rng.choice(n, size=batch, p=in_p)
+        for u, v in zip(sources, targets):
+            u, v = int(u), int(v)
+            if u == v or (u, v) in seen:
+                continue
+            seen.add((u, v))
+            g.add_edge(u, v)
+            if reciprocity and (v, u) not in seen and rng.random() < reciprocity:
+                seen.add((v, u))
+                g.add_edge(v, u)
+            if len(seen) >= m_edges:
+                break
+        attempts += batch
+    return g
+
+
+def planted_partition_graph(
+    sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    directed: bool = False,
+    weight_scale: Optional[float] = None,
+    seed=None,
+) -> DiGraph:
+    """Stochastic block model with planted communities.
+
+    ``sizes[i]`` nodes form community ``i``; intra-community (ordered)
+    pairs connect with probability ``p_in``, inter-community with
+    ``p_out``.  When ``weight_scale`` is given, edge weights are drawn
+    from ``1 + Exponential(weight_scale)`` — emulating collaboration
+    strength in co-authorship networks.
+    """
+    sizes = [check_positive_int(s, "community size") for s in sizes]
+    p_in = check_probability(p_in, "p_in")
+    p_out = check_probability(p_out, "p_out")
+    rng = check_random_state(seed)
+    n = sum(sizes)
+    g = DiGraph(n)
+    community = np.repeat(np.arange(len(sizes)), sizes)
+
+    def _weight() -> float:
+        if weight_scale is None:
+            return 1.0
+        return 1.0 + float(rng.exponential(weight_scale))
+
+    for u in range(n):
+        start = u + 1 if not directed else 0
+        for v in range(start, n):
+            if u == v:
+                continue
+            p = p_in if community[u] == community[v] else p_out
+            if rng.random() < p:
+                w = _weight()
+                if directed:
+                    g.add_edge(u, v, w)
+                else:
+                    _add_symmetric(g, u, v, w)
+    return g
+
+
+def watts_strogatz_graph(n: int, k: int, p_rewire: float, seed=None) -> DiGraph:
+    """Watts–Strogatz small-world ring lattice with rewiring (symmetrised)."""
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if k % 2 != 0 or k >= n:
+        raise InvalidParameterError(f"k must be even and < n, got k={k}, n={n}")
+    p_rewire = check_probability(p_rewire, "p_rewire")
+    rng = check_random_state(seed)
+    g = DiGraph(n)
+    edges = set()
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            edges.add((min(u, v), max(u, v)))
+    rewired = set()
+    for (u, v) in sorted(edges):
+        if rng.random() < p_rewire:
+            for _ in range(8):  # bounded retries to find a fresh endpoint
+                w = int(rng.integers(0, n))
+                cand = (min(u, w), max(u, w))
+                if w != u and cand not in edges and cand not in rewired:
+                    rewired.add(cand)
+                    break
+            else:
+                rewired.add((u, v))
+        else:
+            rewired.add((u, v))
+    for u, v in sorted(rewired):
+        _add_symmetric(g, u, v)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> DiGraph:
+    """2-D grid lattice (symmetrised); deterministic, used in tests."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    g = DiGraph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                _add_symmetric(g, u, u + 1)
+            if r + 1 < rows:
+                _add_symmetric(g, u, u + cols)
+    return g
+
+
+def star_graph(n_leaves: int) -> DiGraph:
+    """Hub node 0 connected bidirectionally to ``n_leaves`` leaves."""
+    n_leaves = check_non_negative_int(n_leaves, "n_leaves")
+    g = DiGraph(n_leaves + 1)
+    for leaf in range(1, n_leaves + 1):
+        _add_symmetric(g, 0, leaf)
+    return g
+
+
+def bipartite_graph(
+    n_left: int, n_right: int, p: float, seed=None
+) -> DiGraph:
+    """Random bipartite graph (symmetrised), left ids ``0..n_left-1``.
+
+    Models user–item interaction graphs for the recommendation example
+    (Konstas et al. usage of RWR cited in the paper's Section 2).
+    """
+    n_left = check_positive_int(n_left, "n_left")
+    n_right = check_positive_int(n_right, "n_right")
+    p = check_probability(p, "p")
+    rng = check_random_state(seed)
+    g = DiGraph(n_left + n_right)
+    mask = rng.random((n_left, n_right)) < p
+    for u, v in zip(*np.nonzero(mask)):
+        _add_symmetric(g, int(u), n_left + int(v))
+    return g

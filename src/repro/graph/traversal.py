@@ -1,0 +1,112 @@
+"""Graph traversal primitives: BFS layering, reachability, components.
+
+The K-dash search (Section 4.3) visits nodes "in ascending order of tree
+layer" of a breadth-first search tree rooted at the query node, following
+the *walk direction* (out-edges): layer ``i`` holds the nodes first
+reachable in ``i`` steps of the random walk.  :func:`bfs_layers` returns
+that layering; :func:`bfs_order` returns the visit order the search uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+import numpy as np
+
+from ..validation import check_node_id
+from .digraph import DiGraph
+
+UNREACHED = -1
+"""Layer value assigned to nodes the BFS never reaches (proximity is 0)."""
+
+
+def bfs_layers(graph: DiGraph, root: int) -> np.ndarray:
+    """Layer number of every node in the BFS tree rooted at ``root``.
+
+    Follows out-edges (the direction the random walk moves).  Unreachable
+    nodes get :data:`UNREACHED` (-1); their RWR proximity w.r.t. ``root``
+    is exactly zero, so the search never needs to visit them.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of length ``n``; ``layers[root] == 0``.
+    """
+    root = check_node_id(root, graph.n_nodes, "root")
+    layers = np.full(graph.n_nodes, UNREACHED, dtype=np.int64)
+    layers[root] = 0
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        next_layer = layers[u] + 1
+        for v in graph.successors(u):
+            if layers[v] == UNREACHED:
+                layers[v] = next_layer
+                queue.append(v)
+    return layers
+
+
+def bfs_order(graph: DiGraph, root: int) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS visit order and layers from ``root``.
+
+    Returns
+    -------
+    (order, layers):
+        ``order`` lists reachable nodes in the exact sequence a FIFO BFS
+        visits them (root first, then layer 1 in discovery order, ...);
+        ``layers`` is as in :func:`bfs_layers`.  The visit order is what
+        Algorithm 4's ``argmin(l_v)`` loop amounts to.
+    """
+    root = check_node_id(root, graph.n_nodes, "root")
+    layers = np.full(graph.n_nodes, UNREACHED, dtype=np.int64)
+    layers[root] = 0
+    order: List[int] = [root]
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        next_layer = layers[u] + 1
+        for v in graph.successors(u):
+            if layers[v] == UNREACHED:
+                layers[v] = next_layer
+                order.append(v)
+                queue.append(v)
+    return np.asarray(order, dtype=np.int64), layers
+
+
+def reachable_set(graph: DiGraph, root: int) -> np.ndarray:
+    """Sorted ids of nodes reachable from ``root`` along out-edges."""
+    layers = bfs_layers(graph, root)
+    return np.flatnonzero(layers != UNREACHED)
+
+
+def connected_components(graph: DiGraph) -> List[np.ndarray]:
+    """Weakly connected components, largest first.
+
+    Treats edges as undirected; used by dataset sanity checks and by the
+    partition-capping logic of the B_LIN baseline.
+    """
+    n = graph.n_nodes
+    seen = np.zeros(n, dtype=bool)
+    components: List[np.ndarray] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        members = [start]
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.successors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    members.append(v)
+                    queue.append(v)
+            for v in graph.predecessors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    members.append(v)
+                    queue.append(v)
+        components.append(np.asarray(sorted(members), dtype=np.int64))
+    components.sort(key=len, reverse=True)
+    return components

@@ -1,0 +1,90 @@
+"""Nonzero accounting for the reordering study (Figure 5).
+
+The paper evaluates reorderings by "the ratio of the number of non-zero
+elements [of the inverse matrices] to that of edges" — values near 1 mean
+the index costs O(m) memory, the basis of the practical O(n+m) claims in
+Sections 5 and 6.  :func:`fill_in_report` packages those counts for one
+(graph, reordering) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import scipy.sparse as sp
+
+from ..sparse import CSCMatrix, CSRMatrix
+
+
+@dataclass(frozen=True)
+class FillInReport:
+    """Nonzero counts of the factors and inverses of one factorisation.
+
+    Attributes
+    ----------
+    n_nodes, n_edges:
+        Graph dimensions (edges = nnz of the adjacency matrix).
+    nnz_l, nnz_u:
+        Stored nonzeros of the factors (unit diagonal of ``L`` included,
+        matching SuperLU's storage).
+    nnz_l_inv, nnz_u_inv:
+        Stored nonzeros of the triangular inverses — the memory that the
+        K-dash index actually holds at query time.
+    """
+
+    n_nodes: int
+    n_edges: int
+    nnz_l: int
+    nnz_u: int
+    nnz_l_inv: int
+    nnz_u_inv: int
+
+    @property
+    def nnz_inverses(self) -> int:
+        """Total stored nonzeros of ``L^-1`` and ``U^-1``."""
+        return self.nnz_l_inv + self.nnz_u_inv
+
+    @property
+    def inverse_ratio(self) -> float:
+        """Figure 5's y-axis: nnz of the inverses over the edge count."""
+        if self.n_edges == 0:
+            return 0.0
+        return self.nnz_inverses / self.n_edges
+
+    @property
+    def factor_fill_ratio(self) -> float:
+        """nnz(L)+nnz(U) over the edge count (classical fill-in ratio)."""
+        if self.n_edges == 0:
+            return 0.0
+        return (self.nnz_l + self.nnz_u) / self.n_edges
+
+
+def nnz_of_factors(
+    ell: sp.csc_matrix, u: sp.csc_matrix
+) -> Tuple[int, int]:
+    """Stored-nonzero counts ``(nnz(L), nnz(U))`` after dropping zeros."""
+    ell = sp.csc_matrix(ell)
+    u = sp.csc_matrix(u)
+    ell.eliminate_zeros()
+    u.eliminate_zeros()
+    return int(ell.nnz), int(u.nnz)
+
+
+def fill_in_report(
+    n_edges: int,
+    ell: sp.csc_matrix,
+    u: sp.csc_matrix,
+    l_inv: CSCMatrix,
+    u_inv: CSRMatrix,
+) -> FillInReport:
+    """Assemble a :class:`FillInReport` from one factorisation's pieces."""
+    nnz_l, nnz_u = nnz_of_factors(ell, u)
+    return FillInReport(
+        n_nodes=ell.shape[0],
+        n_edges=int(n_edges),
+        nnz_l=nnz_l,
+        nnz_u=nnz_u,
+        nnz_l_inv=l_inv.nnz,
+        nnz_u_inv=u_inv.nnz,
+    )

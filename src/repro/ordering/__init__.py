@@ -1,0 +1,41 @@
+"""Node reordering heuristics for sparse triangular inverses.
+
+Finding the node order that minimises nonzeros in ``L^-1`` / ``U^-1`` is
+NP-complete (Theorem 1 of the paper, by reduction from minimum fill-in),
+so Section 4.2.2 proposes three heuristics, implemented here exactly as
+Algorithms 1–3:
+
+- :class:`~repro.ordering.degree.DegreeReordering` — ascending total
+  degree (low-degree nodes to the upper-left of ``A``);
+- :class:`~repro.ordering.cluster.ClusterReordering` — Louvain partitions
+  with a border partition κ+1 collecting every node that has
+  cross-partition edges (doubly-bordered block-diagonal form, Figure 1-2);
+- :class:`~repro.ordering.hybrid.HybridReordering` — cluster first, then
+  degree-ascending inside each partition (the paper's default);
+- :class:`~repro.ordering.random_order.RandomReordering` — the control
+  used by Figures 5 and 6.
+
+All strategies return a :class:`~repro.ordering.permutation.Permutation`
+mapping original ids to positions in the reordered matrix.
+"""
+
+from .base import ReorderingStrategy, get_reordering
+from .cluster import ClusterReordering
+from .degree import DegreeReordering
+from .hybrid import HybridReordering
+from .identity import IdentityReordering
+from .permutation import Permutation
+from .random_order import RandomReordering
+from .rcm import RCMReordering
+
+__all__ = [
+    "ReorderingStrategy",
+    "get_reordering",
+    "Permutation",
+    "DegreeReordering",
+    "ClusterReordering",
+    "HybridReordering",
+    "RandomReordering",
+    "IdentityReordering",
+    "RCMReordering",
+]

@@ -1,0 +1,53 @@
+"""Strategy interface and registry for node reorderings."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Type
+
+from ..exceptions import InvalidParameterError
+from ..graph.digraph import DiGraph
+from .permutation import Permutation
+
+
+class ReorderingStrategy(abc.ABC):
+    """Abstract base for the reordering heuristics of Section 4.2.2.
+
+    Subclasses implement :meth:`compute`, mapping a graph to a
+    :class:`~repro.ordering.permutation.Permutation`; ``perm.position[u]``
+    is node ``u``'s row/column in the reordered matrix ``A'``.
+    """
+
+    #: Registry name; subclasses set this and are auto-registered.
+    name: str = ""
+
+    _registry: Dict[str, Type["ReorderingStrategy"]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name:
+            ReorderingStrategy._registry[cls.name] = cls
+
+    @abc.abstractmethod
+    def compute(self, graph: DiGraph) -> Permutation:
+        """Compute the reordering permutation for ``graph``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def get_reordering(name: str, **kwargs) -> ReorderingStrategy:
+    """Instantiate a reordering strategy by registry name.
+
+    Known names: ``"degree"``, ``"cluster"``, ``"hybrid"``, ``"random"``,
+    ``"identity"``.  Keyword arguments are forwarded to the constructor
+    (e.g. ``seed`` for ``"random"``).
+    """
+    try:
+        cls = ReorderingStrategy._registry[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown reordering {name!r}; available: "
+            f"{sorted(ReorderingStrategy._registry)}"
+        ) from None
+    return cls(**kwargs)

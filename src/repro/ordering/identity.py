@@ -1,0 +1,20 @@
+"""Identity (no-op) reordering.
+
+Useful as a baseline in tests and for graphs whose natural order is
+already good (e.g. generators that emit nodes in community order).
+"""
+
+from __future__ import annotations
+
+from ..graph.digraph import DiGraph
+from .base import ReorderingStrategy
+from .permutation import Permutation
+
+
+class IdentityReordering(ReorderingStrategy):
+    """Keep the natural node order."""
+
+    name = "identity"
+
+    def compute(self, graph: DiGraph) -> Permutation:
+        return Permutation.identity(graph.n_nodes)

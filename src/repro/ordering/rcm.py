@@ -1,0 +1,68 @@
+"""Reverse Cuthill–McKee reordering — an extension ablation.
+
+Not part of the paper's three heuristics, but the classical
+bandwidth-reducing ordering every sparse-direct-solver practitioner
+reaches for first.  Including it lets the ablation benchmark ask the
+natural follow-up question the paper leaves open: *how do the proposed
+heuristics compare to a standard fill-reducing ordering?*
+
+Implementation (from scratch, on the symmetrised graph):
+
+1. start from a minimum-degree node of each connected component
+   (a cheap pseudo-peripheral choice);
+2. BFS, visiting each node's unvisited neighbours in ascending degree
+   order (the Cuthill–McKee order);
+3. reverse the concatenated order (George's observation that the
+   reversal reduces fill in factorisation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set
+
+import numpy as np
+
+from ..graph.digraph import DiGraph
+from .base import ReorderingStrategy
+from .permutation import Permutation
+
+
+class RCMReordering(ReorderingStrategy):
+    """Reverse Cuthill–McKee over the symmetrised adjacency."""
+
+    name = "rcm"
+
+    def compute(self, graph: DiGraph) -> Permutation:
+        n = graph.n_nodes
+        if n == 0:
+            return Permutation.identity(0)
+        degrees = graph.degree_array()
+        # Symmetrised neighbour lists (direction is irrelevant to fill).
+        neighbors: List[Set[int]] = [set() for _ in range(n)]
+        for u, v, _ in graph.edges():
+            if u != v:
+                neighbors[u].add(v)
+                neighbors[v].add(u)
+
+        visited = np.zeros(n, dtype=bool)
+        order: List[int] = []
+        # Deterministic component starts: global ascending (degree, id).
+        starts = sorted(range(n), key=lambda u: (int(degrees[u]), u))
+        for start in starts:
+            if visited[start]:
+                continue
+            visited[start] = True
+            queue = deque([start])
+            while queue:
+                u = queue.popleft()
+                order.append(u)
+                fresh = sorted(
+                    (v for v in neighbors[u] if not visited[v]),
+                    key=lambda v: (int(degrees[v]), v),
+                )
+                for v in fresh:
+                    visited[v] = True
+                    queue.append(v)
+        order.reverse()
+        return Permutation.from_order(np.asarray(order, dtype=np.int64))

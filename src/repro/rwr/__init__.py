@@ -1,0 +1,26 @@
+"""Ground-truth random-walk-with-restart solvers.
+
+The paper's Section 3 defines RWR proximities as the fixed point of
+``p = (1-c) A p + c q``.  This subpackage provides the two reference ways
+of computing the *full* proximity vector:
+
+- :func:`~repro.rwr.power_iteration.power_iteration_rwr` — the O(mt)
+  iterative method the paper benchmarks precision against ("the original
+  iterative algorithm");
+- :func:`~repro.rwr.linear_solve.direct_solve_rwr` — the exact sparse
+  direct solve ``p = c W^-1 q``.
+
+Plus :func:`~repro.rwr.proximity.top_k_from_vector`, the brute-force
+top-k extraction both baselines and tests rank against.
+"""
+
+from .linear_solve import direct_solve_rwr
+from .power_iteration import power_iteration_rwr
+from .proximity import proximity_vector, top_k_from_vector
+
+__all__ = [
+    "power_iteration_rwr",
+    "direct_solve_rwr",
+    "proximity_vector",
+    "top_k_from_vector",
+]

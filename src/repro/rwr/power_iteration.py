@@ -1,0 +1,84 @@
+"""The iterative RWR solver (Section 3 of the paper).
+
+"The steady-state probabilities for each node can be obtained by
+recursively applying ``p = (1-c) A p + c q`` until convergence" — an
+O(mt) method whose cost on large graphs is the paper's motivation.  It is
+implemented here both as the exactness reference (precision in Figure 3
+is measured against it) and as the baseline labelled *iterative* in the
+experiment harness.
+
+Convergence: the iteration map is a contraction with factor ``(1-c)`` in
+L1, so the error after ``t`` steps is at most ``(1-c)^t`` — geometric for
+any ``c`` in (0, 1).  With the paper's ``c = 0.95`` a handful of
+iterations reaches machine precision; small ``c`` values (long walks)
+need proportionally more.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ConvergenceError
+from ..graph.matrices import restart_vector
+from ..validation import (
+    check_node_id,
+    check_positive_int,
+    check_restart_probability,
+    check_tolerance,
+)
+
+
+def power_iteration_rwr(
+    adjacency: sp.spmatrix,
+    query: int,
+    c: float = 0.95,
+    tol: float = 1e-12,
+    max_iterations: int = 10_000,
+    return_iterations: bool = False,
+):
+    """Compute the full RWR proximity vector by fixed-point iteration.
+
+    Parameters
+    ----------
+    adjacency:
+        Column-normalised transition matrix ``A``.
+    query:
+        Query node ``q`` (restart target).
+    c:
+        Restart probability in ``(0, 1)``; paper default 0.95.
+    tol:
+        L1 convergence threshold on successive iterates.
+    max_iterations:
+        Iteration budget; exceeding it raises
+        :class:`~repro.exceptions.ConvergenceError`.
+    return_iterations:
+        When ``True``, return ``(p, iterations)`` instead of just ``p``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The proximity vector ``p`` with ``p[u]`` the steady-state
+        probability of node ``u``; entries sum to at most 1 (strictly
+        less only when the walk can leak into dangling nodes).
+    """
+    c = check_restart_probability(c)
+    tol = check_tolerance(tol)
+    max_iterations = check_positive_int(max_iterations, "max_iterations")
+    n = adjacency.shape[0]
+    query = check_node_id(query, n, "query")
+    a = adjacency.tocsr()
+    q_vec = restart_vector(n, query)
+    p = q_vec.copy()
+    damp = 1.0 - c
+    for iteration in range(1, max_iterations + 1):
+        p_next = damp * (a @ p) + c * q_vec
+        delta = float(np.abs(p_next - p).sum())
+        p = p_next
+        if delta < tol:
+            if return_iterations:
+                return p, iteration
+            return p
+    raise ConvergenceError("power_iteration_rwr", max_iterations, delta, tol)

@@ -1,0 +1,51 @@
+"""Proximity-vector helpers shared by baselines, tests and the harness."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..validation import check_k
+
+
+def proximity_vector(
+    adjacency: sp.spmatrix, query: int, c: float = 0.95, method: str = "direct"
+) -> np.ndarray:
+    """Full proximity vector by the requested reference method.
+
+    ``method`` is ``"direct"`` (sparse solve) or ``"power"`` (fixed-point
+    iteration); both return the same vector up to solver tolerance.
+    """
+    from .linear_solve import direct_solve_rwr
+    from .power_iteration import power_iteration_rwr
+
+    if method == "direct":
+        return direct_solve_rwr(adjacency, query, c)
+    if method == "power":
+        return power_iteration_rwr(adjacency, query, c)
+    from ..exceptions import InvalidParameterError
+
+    raise InvalidParameterError(
+        f"method must be 'direct' or 'power', got {method!r}"
+    )
+
+
+def top_k_from_vector(p: np.ndarray, k: int) -> List[Tuple[int, float]]:
+    """Extract the top-k ``(node, proximity)`` pairs from a dense vector.
+
+    Ordering is by descending proximity with ascending node id breaking
+    ties — the canonical ordering every component of this library uses,
+    so exactness comparisons are well defined even with duplicate
+    proximities.  If ``k`` exceeds the vector length, all entries are
+    returned.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    k = check_k(k)
+    k = min(k, p.size)
+    if k == 0:
+        return []
+    # argsort on (-p, id): descending proximity, ascending id tiebreak.
+    order = np.lexsort((np.arange(p.size), -p))[:k]
+    return [(int(u), float(p[u])) for u in order]

@@ -1,0 +1,46 @@
+"""Minimal sparse-matrix kernel used by the from-scratch LU pipeline.
+
+The paper stores the triangular inverses ``L^-1`` and ``U^-1`` in an
+*adjacency-list representation* (Section 4.2).  This subpackage provides
+exactly that: compressed sparse row/column matrices
+(:class:`~repro.sparse.csr.CSRMatrix`, :class:`~repro.sparse.csc.CSCMatrix`),
+a coordinate-format builder (:class:`~repro.sparse.coo.COOMatrix`), and
+reach-based sparse triangular solves
+(:mod:`repro.sparse.triangular`) that touch only the nonzero pattern.
+
+The classes interoperate with :mod:`scipy.sparse` (``to_scipy`` /
+``from_scipy``) so the high-performance SuperLU backend and the pure-Python
+Crout backend can share every downstream component.
+"""
+
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .linalg import (
+    sparse_column_max,
+    sparse_matmat,
+    sparse_matvec,
+    sparse_row_dot,
+)
+from .triangular import (
+    lower_triangular_solve,
+    sparse_lower_inverse,
+    sparse_unit_lower_solve_sparse_rhs,
+    sparse_upper_inverse,
+    upper_triangular_solve,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "sparse_column_max",
+    "sparse_matmat",
+    "sparse_matvec",
+    "sparse_row_dot",
+    "lower_triangular_solve",
+    "upper_triangular_solve",
+    "sparse_lower_inverse",
+    "sparse_upper_inverse",
+    "sparse_unit_lower_solve_sparse_rhs",
+]

@@ -1,0 +1,176 @@
+"""Coordinate-format sparse matrix: the builder format.
+
+:class:`COOMatrix` is the format every other sparse class is constructed
+through.  It stores parallel ``rows`` / ``cols`` / ``data`` arrays, allows
+duplicates (summed on conversion, matching scipy semantics), and converts
+to CSR/CSC in :math:`O(\\text{nnz} \\log \\text{nnz})`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..exceptions import SparseMatrixError
+
+
+class COOMatrix:
+    """Sparse matrix in coordinate (triplet) format.
+
+    Parameters
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    rows, cols:
+        Integer arrays of equal length with the coordinates of each entry.
+    data:
+        Float array of entry values, same length as ``rows``.
+
+    Duplicate coordinates are permitted and are *summed* when converting to
+    CSR/CSC, which makes COO convenient for accumulating edge weights.
+    """
+
+    __slots__ = ("shape", "rows", "cols", "data")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        rows: Iterable[int],
+        cols: Iterable[int],
+        data: Iterable[float],
+    ) -> None:
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise SparseMatrixError(f"shape must be non-negative, got {shape!r}")
+        self.shape = (n_rows, n_cols)
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise SparseMatrixError(
+                "rows, cols and data must have identical lengths, got "
+                f"{self.rows.size}, {self.cols.size}, {self.data.size}"
+            )
+        if self.rows.size:
+            if self.rows.min(initial=0) < 0 or self.rows.max(initial=-1) >= n_rows:
+                raise SparseMatrixError("row index out of bounds")
+            if self.cols.min(initial=0) < 0 or self.cols.max(initial=-1) >= n_cols:
+                raise SparseMatrixError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(self.data.size)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "COOMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(shape, [], [], [])
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a dense 2-D array, keeping only nonzero entries."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise SparseMatrixError(f"expected a 2-D array, got ndim={dense.ndim}")
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols])
+
+    @classmethod
+    def identity(cls, n: int) -> "COOMatrix":
+        """The ``n x n`` identity matrix."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls((n, n), idx, idx, np.ones(n))
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to CSR, summing duplicate coordinates."""
+        from .csr import CSRMatrix
+
+        indptr, indices, data = _compress(
+            self.shape[0], self.rows, self.cols, self.data
+        )
+        return CSRMatrix(self.shape, indptr, indices, data)
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to CSC, summing duplicate coordinates."""
+        from .csc import CSCMatrix
+
+        indptr, indices, data = _compress(
+            self.shape[1], self.cols, self.rows, self.data
+        )
+        return CSCMatrix(self.shape, indptr, indices, data)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense 2-D array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def to_scipy(self):
+        """Convert to a :class:`scipy.sparse.coo_matrix`."""
+        import scipy.sparse as sp
+
+        return sp.coo_matrix((self.data, (self.rows, self.cols)), shape=self.shape)
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (cheap: swaps the coordinate arrays)."""
+        return COOMatrix(
+            (self.shape[1], self.shape[0]), self.cols, self.rows, self.data
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def _compress(
+    n_major: int,
+    major: np.ndarray,
+    minor: np.ndarray,
+    data: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compress triplets along ``major``, sorting by (major, minor) and
+    summing duplicates.  Shared by ``to_csr`` and ``to_csc``.
+    """
+    if data.size == 0:
+        return (
+            np.zeros(n_major + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
+    order = np.lexsort((minor, major))
+    major = major[order]
+    minor = minor[order]
+    data = data[order]
+    # Collapse duplicate (major, minor) pairs by summation.
+    new_group = np.empty(major.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (major[1:] != major[:-1]) | (minor[1:] != minor[:-1])
+    group_ids = np.cumsum(new_group) - 1
+    n_groups = int(group_ids[-1]) + 1
+    summed = np.zeros(n_groups, dtype=np.float64)
+    np.add.at(summed, group_ids, data)
+    major_u = major[new_group]
+    minor_u = minor[new_group]
+    indptr = np.zeros(n_major + 1, dtype=np.int64)
+    np.add.at(indptr, major_u + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, minor_u, summed
+
+
+# Imported at the bottom only for type checkers; runtime imports are local
+# inside the conversion methods to avoid a circular import.
+from typing import TYPE_CHECKING  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .csc import CSCMatrix
+    from .csr import CSRMatrix

@@ -1,0 +1,100 @@
+"""Free-function linear algebra helpers over the sparse kernel.
+
+These are thin, well-tested wrappers used across the library:
+``sparse_matvec`` dispatches on matrix type, ``sparse_matmat`` multiplies
+two of our sparse matrices (used only in tests and small precomputations —
+production paths go through scipy), ``sparse_column_max`` extracts the
+per-column maxima needed by the tree estimator (``Amax(v)``,
+Section 4.3.1), and ``sparse_row_dot`` is the query-time kernel
+``p_u = c * U^-1[u, :] . y``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import SparseMatrixError
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+
+SparseMatrix = Union[CSRMatrix, CSCMatrix]
+
+
+def sparse_matvec(mat: SparseMatrix, x: np.ndarray) -> np.ndarray:
+    """Compute ``mat @ x`` for either CSR or CSC input."""
+    if isinstance(mat, (CSRMatrix, CSCMatrix)):
+        return mat.matvec(x)
+    raise SparseMatrixError(f"unsupported matrix type {type(mat).__name__}")
+
+
+def sparse_matmat(a: SparseMatrix, b: SparseMatrix) -> CSRMatrix:
+    """Multiply two sparse matrices, returning CSR.
+
+    Implemented as a row-by-row sparse accumulation; intended for tests
+    and small matrices (e.g. verifying ``L @ U == W``), not for hot paths.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise SparseMatrixError(
+            f"shape mismatch for matmul: {a.shape} @ {b.shape}"
+        )
+    a_csr = a if isinstance(a, CSRMatrix) else a.to_csr()
+    b_csr = b if isinstance(b, CSRMatrix) else b.to_csr()
+    n_rows, n_cols = a.shape[0], b.shape[1]
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    rows_out = []
+    vals_out = []
+    workspace = np.zeros(n_cols, dtype=np.float64)
+    touched = np.full(n_cols, -1, dtype=np.int64)
+    for i in range(n_rows):
+        cols_i, vals_i = a_csr.row(i)
+        active = []
+        for k, av in zip(cols_i, vals_i):
+            cols_k, vals_k = b_csr.row(int(k))
+            for j, bv in zip(cols_k, vals_k):
+                j = int(j)
+                if touched[j] != i:
+                    touched[j] = i
+                    workspace[j] = 0.0
+                    active.append(j)
+                workspace[j] += av * bv
+        active.sort()
+        row_cols = np.asarray(active, dtype=np.int64)
+        row_vals = workspace[row_cols]
+        keep = row_vals != 0.0
+        rows_out.append(row_cols[keep])
+        vals_out.append(row_vals[keep])
+        indptr[i + 1] = indptr[i] + int(keep.sum())
+    indices = np.concatenate(rows_out) if rows_out else np.zeros(0, dtype=np.int64)
+    data = np.concatenate(vals_out) if vals_out else np.zeros(0, dtype=np.float64)
+    return CSRMatrix((n_rows, n_cols), indptr, indices, data)
+
+
+def sparse_column_max(mat: CSCMatrix) -> np.ndarray:
+    """Per-column maxima of a CSC matrix; zero for empty columns.
+
+    For the column-normalised transition matrix this yields the array
+    ``Amax(v)`` used by Definition 1 of the paper.  The global maximum
+    ``Amax`` is simply ``sparse_column_max(A).max()``.
+    """
+    if not isinstance(mat, CSCMatrix):
+        raise SparseMatrixError("sparse_column_max expects a CSCMatrix")
+    n_cols = mat.shape[1]
+    out = np.zeros(n_cols, dtype=np.float64)
+    counts = np.diff(mat.indptr)
+    if mat.data.size:
+        col_ids = np.repeat(np.arange(n_cols, dtype=np.int64), counts)
+        np.maximum.at(out, col_ids, mat.data)
+    return out
+
+
+def sparse_row_dot(mat: CSRMatrix, i: int, x: np.ndarray) -> float:
+    """Dot product of row ``i`` of a CSR matrix with dense vector ``x``.
+
+    This is the per-node proximity evaluation of K-dash's query path:
+    ``p_u = c * U^-1[u, :] . (L^-1 e_q)`` costs one call per candidate.
+    """
+    if not isinstance(mat, CSRMatrix):
+        raise SparseMatrixError("sparse_row_dot expects a CSRMatrix")
+    return mat.row_dot(i, x)

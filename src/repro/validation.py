@@ -1,0 +1,124 @@
+"""Small, reusable argument-validation helpers.
+
+Every public entry point of the library validates its inputs through these
+helpers so that error messages are uniform and informative.  All helpers
+either return the (possibly normalised) value or raise
+:class:`~repro.exceptions.InvalidParameterError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidParameterError
+
+
+def check_restart_probability(c: float) -> float:
+    """Validate the RWR restart probability ``c``; must lie in (0, 1).
+
+    The paper (Section 6) uses ``c = 0.95``; any value in the open interval
+    keeps ``W = I - (1-c)A`` strictly column diagonally dominant, which is
+    what the LU kernel relies on.
+    """
+    c = float(c)
+    if not (0.0 < c < 1.0):
+        raise InvalidParameterError(
+            f"restart probability c must be in the open interval (0, 1), got {c!r}"
+        )
+    return c
+
+
+def check_k(k: int, n_nodes: Optional[int] = None) -> int:
+    """Validate the number of requested answer nodes ``K``.
+
+    ``k`` must be a positive integer.  It may exceed the number of nodes in
+    the graph; callers then pad or truncate, as documented on
+    :meth:`repro.core.kdash.KDash.top_k`.
+    """
+    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+        raise InvalidParameterError(f"K must be an integer, got {type(k).__name__}")
+    k = int(k)
+    if k <= 0:
+        raise InvalidParameterError(f"K must be positive, got {k}")
+    if n_nodes is not None and n_nodes < 0:
+        raise InvalidParameterError(f"n_nodes must be non-negative, got {n_nodes}")
+    return k
+
+
+def check_node_id(node: int, n_nodes: int, name: str = "node") -> int:
+    """Validate a node id against the graph size, returning it as ``int``."""
+    if isinstance(node, bool) or not isinstance(node, (int, np.integer)):
+        raise InvalidParameterError(
+            f"{name} must be an integer node id, got {type(node).__name__}"
+        )
+    node = int(node)
+    if not (0 <= node < n_nodes):
+        from .exceptions import NodeNotFoundError
+
+        raise NodeNotFoundError(node, n_nodes)
+    return node
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate a strictly positive integer parameter."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise InvalidParameterError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate a non-negative integer parameter."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise InvalidParameterError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate a probability-like float in the closed interval [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0) or np.isnan(value):
+        raise InvalidParameterError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_tolerance(tol: float, name: str = "tol") -> float:
+    """Validate a convergence tolerance (strictly positive, finite)."""
+    tol = float(tol)
+    if not (tol > 0.0) or not np.isfinite(tol):
+        raise InvalidParameterError(f"{name} must be a positive finite float, got {tol!r}")
+    return tol
+
+
+def check_choice(value: str, choices: Sequence[str], name: str) -> str:
+    """Validate a string option against an allowed set (case-sensitive)."""
+    if value not in choices:
+        raise InvalidParameterError(
+            f"{name} must be one of {sorted(choices)!r}, got {value!r}"
+        )
+    return value
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an ``int`` seed, or an existing
+    generator (returned unchanged) so that every stochastic component of
+    the library is reproducible from a single integer.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise InvalidParameterError(
+            f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+        )
+    return np.random.default_rng(int(seed))

@@ -1,0 +1,79 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph import DiGraph, erdos_renyi_graph, grid_graph, scale_free_digraph, star_graph
+
+# Keep property-based runs fast enough for the full-suite iteration loop
+# while still exploring a meaningful slice of the input space.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator; tests stay deterministic."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph() -> DiGraph:
+    """The 7-node example graph of the paper's Appendix A.2 (Figure 8).
+
+    Edges follow the figure: u1 is the query/root, u2 and u3 form layer 1,
+    u4/u5 layer 2, u6/u7 layer 3, with a couple of non-tree edges.
+    Node ids are zero-based (u1 -> 0, ..., u7 -> 6).
+    """
+    g = DiGraph(7)
+    edges = [
+        (0, 1),  # u1 -> u2
+        (0, 2),  # u1 -> u3
+        (1, 3),  # u2 -> u4
+        (1, 4),  # u2 -> u5
+        (2, 3),  # u3 -> u4
+        (3, 5),  # u4 -> u6
+        (4, 5),  # u5 -> u6  (non-tree)
+        (4, 6),  # u5 -> u7
+        (3, 4),  # u4 -> u5  (non-tree, same layer +1)
+        (5, 0),  # u6 -> u1  (back edge)
+    ]
+    g.add_edges(edges)
+    return g
+
+
+@pytest.fixture
+def er_graph() -> DiGraph:
+    """A mid-size random digraph with one big component."""
+    return erdos_renyi_graph(60, 0.08, seed=42)
+
+
+@pytest.fixture
+def sf_graph() -> DiGraph:
+    """A scale-free digraph with dangling nodes (harder regime)."""
+    return scale_free_digraph(150, 600, seed=7)
+
+
+@pytest.fixture
+def lattice() -> DiGraph:
+    """Deterministic 2-D grid (symmetric, ties everywhere)."""
+    return grid_graph(5, 6)
+
+
+@pytest.fixture
+def star() -> DiGraph:
+    """A star graph: hub 0 with 8 leaves."""
+    return star_graph(8)
+
+
+def random_digraph(seed: int, n: int = 40, p: float = 0.1) -> DiGraph:
+    """Helper for hypothesis-driven tests needing graph diversity."""
+    return erdos_renyi_graph(n, p, seed=seed)

@@ -1,0 +1,60 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "--dataset", "Internet", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Internet" in out
+        assert "n_nodes" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--dataset", "Twitter"])
+
+
+class TestBuildAndQuery:
+    def test_dataset_build_query_cycle(self, tmp_path, capsys):
+        index_path = str(tmp_path / "internet.npz")
+        assert main([
+            "build", "--dataset", "Internet", "--scale", "0.1",
+            "--output", index_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "saved to" in out
+        assert main(["query", "--index", index_path, "--node", "3", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "top-4 for node 3" in out
+        assert out.count(".") >= 4  # four ranked lines with proximities
+
+    def test_edge_list_build(self, tmp_path, capsys):
+        edges = tmp_path / "g.txt"
+        edges.write_text("0 1\n1 2\n2 0\n2 3\n3 2\n")
+        index_path = str(tmp_path / "g.npz")
+        assert main([
+            "build", "--edge-list", str(edges), "--output", index_path,
+            "--reordering", "degree", "--c", "0.9",
+        ]) == 0
+        assert main(["query", "--index", index_path, "--node", "0", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "node-0" in out
+
+    def test_build_requires_one_source(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--output", "x.npz"])
+
+
+class TestExperimentCommand:
+    def test_fig5_small(self, capsys):
+        assert main(["experiment", "--name", "fig5", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Dictionary" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--name", "fig42"])

@@ -1,0 +1,33 @@
+"""Integration test for the one-command reproduction entry point."""
+
+import pathlib
+
+from repro.eval import run_all
+
+
+class TestRunAll:
+    def test_small_scale_end_to_end(self, tmp_path, monkeypatch):
+        # run_all at a tiny scale: every experiment must complete and the
+        # markdown document must contain every figure/table heading.
+        import repro.eval.run_all as module
+
+        tables = module.run_all(scale=0.08, verbose=False)
+        titles = [t.title for t in tables]
+        assert any("Figure 2" in t for t in titles)
+        assert any("Figure 5" in t for t in titles)
+        assert any("Figure 9" in t for t in titles)
+        assert any("Table 2" in t for t in titles)
+        assert any("Restart-probability" in t for t in titles)
+
+        out = tmp_path / "EXPERIMENTS_test.md"
+        module.write_markdown(tables, str(out))
+        text = out.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        assert "Figure 7" in text
+        assert "| dataset |" in text
+
+    def test_main_cli(self, capsys):
+        assert run_all.main(["--scale", "0.06"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Figure 6" in out

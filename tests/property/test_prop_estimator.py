@@ -1,0 +1,133 @@
+"""Property-based verification of Lemmas 1–3 (the estimator's contracts).
+
+These are the paper's correctness core: if any of these properties fails
+on any graph, K-dash's exactness guarantee (Theorem 2) collapses.  The
+strategies draw random directed weighted graphs — including self-loops,
+dangling nodes and disconnected pieces — plus random queries and restart
+probabilities.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core import BFSTree, ProximityEstimator
+from repro.graph import DiGraph, column_normalized_adjacency
+from repro.rwr import direct_solve_rwr
+from repro.sparse import CSCMatrix, sparse_column_max
+
+
+@st.composite
+def graph_query_c(draw):
+    n = draw(st.integers(2, 25))
+    seed = draw(st.integers(0, 100_000))
+    density = draw(st.floats(0.05, 0.5))
+    allow_self_loops = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    g = DiGraph(n)
+    mask = rng.random((n, n)) < density
+    if not allow_self_loops:
+        np.fill_diagonal(mask, False)
+    for u, v in zip(*np.nonzero(mask)):
+        g.add_edge(int(u), int(v), float(rng.integers(1, 5)))
+    query = draw(st.integers(0, n - 1))
+    c = draw(st.sampled_from([0.2, 0.5, 0.8, 0.95]))
+    return g, query, c
+
+
+def build_estimator(g, query, c, total_mass=1.0):
+    a = column_normalized_adjacency(g)
+    kernel = CSCMatrix.from_scipy(a)
+    amax_col = sparse_column_max(kernel)
+    amax = float(amax_col.max()) if amax_col.size else 0.0
+    return ProximityEstimator(
+        amax_col, amax, a.diagonal(), c, query, total_mass=total_mass
+    ), a
+
+
+class TestLemma1:
+    @given(graph_query_c())
+    def test_upper_bound_dominates(self, args):
+        """p̄_u >= p_u for every node in BFS visit order (Lemma 1)."""
+        g, query, c = args
+        est, a = build_estimator(g, query, c)
+        exact = direct_solve_rwr(a, query, c)
+        for node, layer in BFSTree(g, query):
+            bound = est.step(node, layer)
+            assert bound >= exact[node] - 1e-10, (node, bound, exact[node])
+            est.record(node, float(exact[node]))
+
+    @given(graph_query_c())
+    def test_upper_bound_with_exact_total_mass(self, args):
+        """The tightened t3 (exact sum p) keeps Lemma 1 valid."""
+        g, query, c = args
+        a = column_normalized_adjacency(g)
+        exact = direct_solve_rwr(a, query, c)
+        total = float(exact.sum()) + 1e-12
+        est, _ = build_estimator(g, query, c, total_mass=min(1.0, total))
+        for node, layer in BFSTree(g, query):
+            bound = est.step(node, layer)
+            assert bound >= exact[node] - 1e-10
+            est.record(node, float(exact[node]))
+
+
+class TestLemma2:
+    @given(graph_query_c())
+    def test_bounds_non_increasing(self, args):
+        """Non-query bounds never increase along the visit order."""
+        g, query, c = args
+        est, a = build_estimator(g, query, c)
+        exact = direct_solve_rwr(a, query, c)
+        previous = None
+        for node, layer in BFSTree(g, query):
+            bound = est.step(node, layer)
+            if node != query:
+                if previous is not None:
+                    assert bound <= previous + 1e-10
+                previous = bound
+            est.record(node, float(exact[node]))
+
+    @given(graph_query_c())
+    def test_bounds_non_increasing_with_unreached_tail(self, args):
+        """Monotonicity also holds across the synthetic final layer."""
+        g, query, c = args
+        est, a = build_estimator(g, query, c)
+        exact = direct_solve_rwr(a, query, c)
+        previous = None
+        for node, layer in BFSTree(g, query, include_unreached=True):
+            bound = est.step(node, layer)
+            if node != query:
+                if previous is not None:
+                    assert bound <= previous + 1e-10
+                previous = bound
+            est.record(node, float(exact[node]))
+
+
+class TestLemma3:
+    @given(graph_query_c())
+    def test_incremental_terms_equal_direct_sums(self, args):
+        """O(1) updates reproduce Definition 1's sums exactly (Lemma 3)."""
+        g, query, c = args
+        a = column_normalized_adjacency(g)
+        kernel = CSCMatrix.from_scipy(a)
+        amax_col = sparse_column_max(kernel)
+        amax = float(amax_col.max()) if amax_col.size else 0.0
+        exact = direct_solve_rwr(a, query, c)
+        est, _ = build_estimator(g, query, c)
+        tree = BFSTree(g, query)
+        layers = tree.layers
+        selected = []
+        for node, layer in tree:
+            est.step(node, layer)
+            t1, t2, t3 = est.bound_terms()
+            direct_t1 = sum(
+                exact[v] * amax_col[v] for v in selected if layers[v] == layer - 1
+            )
+            direct_t2 = sum(
+                exact[v] * amax_col[v] for v in selected if layers[v] == layer
+            )
+            direct_t3 = (1.0 - sum(exact[v] for v in selected)) * amax
+            assert abs(t1 - direct_t1) < 1e-10
+            assert abs(t2 - direct_t2) < 1e-10
+            assert abs(t3 - direct_t3) < 1e-9
+            est.record(node, float(exact[node]))
+            selected.append(node)

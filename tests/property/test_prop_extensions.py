@@ -1,0 +1,97 @@
+"""Property-based tests for the extension features.
+
+DynamicKDash must stay exact under arbitrary update sequences;
+top_k_personalized must stay exact for arbitrary restart sets.
+"""
+
+import numpy as np
+import scipy.sparse.linalg as spla
+from hypothesis import given, strategies as st
+
+from repro import DynamicKDash, KDash
+from repro.graph import DiGraph, column_normalized_adjacency, erdos_renyi_graph
+from repro.graph.matrices import rwr_system_matrix
+from repro.rwr import direct_solve_rwr
+
+
+@st.composite
+def update_scenarios(draw):
+    """A starting graph plus a random sequence of edge updates."""
+    n = draw(st.integers(3, 20))
+    seed = draw(st.integers(0, 50_000))
+    g = erdos_renyi_graph(n, draw(st.floats(0.1, 0.4)), seed=seed)
+    n_updates = draw(st.integers(1, 8))
+    rng = np.random.default_rng(seed + 1)
+    updates = []
+    for _ in range(n_updates):
+        kind = draw(st.sampled_from(["add", "remove", "reweight"]))
+        updates.append((kind, int(rng.integers(n)), int(rng.integers(n)),
+                        float(rng.integers(1, 5))))
+    return g, updates
+
+
+class TestDynamicExactness:
+    @given(update_scenarios(), st.integers(0, 10_000))
+    def test_arbitrary_update_sequences(self, scenario, query_seed):
+        graph, updates = scenario
+        dyn = DynamicKDash(graph, c=0.9, rebuild_threshold=None)
+        for kind, u, v, w in updates:
+            if u == v:
+                continue
+            if kind == "add":
+                dyn.add_edge(u, v, w)
+            elif kind == "remove" and dyn.graph.has_edge(u, v):
+                dyn.remove_edge(u, v)
+            elif kind == "reweight" and dyn.graph.has_edge(u, v):
+                dyn.set_edge_weight(u, v, w)
+        query = query_seed % graph.n_nodes
+        expected = direct_solve_rwr(
+            column_normalized_adjacency(dyn.graph), query, 0.9
+        )
+        assert np.allclose(dyn.proximity_column(query), expected, atol=1e-8)
+
+    @given(update_scenarios())
+    def test_rebuild_preserves_answers(self, scenario):
+        graph, updates = scenario
+        dyn = DynamicKDash(graph, c=0.9, rebuild_threshold=None)
+        for kind, u, v, w in updates:
+            if u != v and kind == "add":
+                dyn.add_edge(u, v, w)
+        if dyn.n_pending_columns == 0:
+            return
+        before = dyn.proximity_column(0)
+        dyn.rebuild()
+        after = dyn.proximity_column(0)
+        assert np.allclose(before, after, atol=1e-8)
+
+
+@st.composite
+def restart_scenarios(draw):
+    n = draw(st.integers(3, 20))
+    seed = draw(st.integers(0, 50_000))
+    g = erdos_renyi_graph(n, draw(st.floats(0.1, 0.4)), seed=seed)
+    n_seeds = draw(st.integers(1, min(5, n)))
+    rng = np.random.default_rng(seed + 2)
+    seeds = rng.choice(n, size=n_seeds, replace=False)
+    restart = {int(s): float(rng.integers(1, 9)) for s in seeds}
+    k = draw(st.integers(1, 8))
+    return g, restart, k
+
+
+class TestPersonalizedExactness:
+    @given(restart_scenarios())
+    def test_matches_direct_solve(self, scenario):
+        graph, restart, k = scenario
+        index = KDash(graph, c=0.9).build()
+        result = index.top_k_personalized(restart, k)
+        a = column_normalized_adjacency(graph)
+        w = rwr_system_matrix(a, 0.9)
+        q = np.zeros(graph.n_nodes)
+        total = sum(restart.values())
+        for node, weight in restart.items():
+            q[node] = 0.9 * weight / total
+        exact = spla.spsolve(w.tocsc(), q)
+        expected = sorted(exact, reverse=True)[: len(result.items)]
+        assert np.allclose(
+            sorted(result.proximities, reverse=True), expected, atol=1e-9
+        )

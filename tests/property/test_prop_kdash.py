@@ -1,0 +1,90 @@
+"""Property-based verification of Theorem 2: K-dash is exact.
+
+Every draw builds a random graph (possibly with self-loops, dangling
+nodes, weights, disconnected components), queries K-dash with random
+(query, K, reordering, root) combinations, and checks the result against
+the brute-force ranking through the strict
+:func:`~repro.eval.metrics.exactness_certificate`.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core import KDash
+from repro.eval.metrics import exactness_certificate
+from repro.graph import DiGraph, column_normalized_adjacency
+from repro.rwr import direct_solve_rwr
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 30))
+    seed = draw(st.integers(0, 100_000))
+    density = draw(st.floats(0.03, 0.4))
+    weighted = draw(st.booleans())
+    self_loops = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    g = DiGraph(n)
+    mask = rng.random((n, n)) < density
+    if not self_loops:
+        np.fill_diagonal(mask, False)
+    for u, v in zip(*np.nonzero(mask)):
+        w = float(rng.integers(1, 6)) if weighted else 1.0
+        g.add_edge(int(u), int(v), w)
+    return g
+
+
+class TestTheorem2:
+    @given(
+        random_graphs(),
+        st.integers(0, 10_000),
+        st.integers(1, 12),
+        st.sampled_from([0.5, 0.9, 0.95]),
+        st.sampled_from(["hybrid", "degree", "random"]),
+    )
+    def test_kdash_exact(self, graph, query_seed, k, c, reordering):
+        query = query_seed % graph.n_nodes
+        index = KDash(graph, c=c, reordering=reordering).build()
+        result = index.top_k(query, k)
+        a = column_normalized_adjacency(graph)
+        exact = direct_solve_rwr(a, query, c)
+        assert exactness_certificate(result, exact, atol=1e-8), (
+            query,
+            k,
+            c,
+            reordering,
+            result.items,
+        )
+
+    @given(random_graphs(), st.integers(0, 10_000), st.integers(1, 8))
+    def test_prune_and_noprune_agree(self, graph, seed, k):
+        query = seed % graph.n_nodes
+        index = KDash(graph, c=0.9).build()
+        a = index.top_k(query, k)
+        b = index.top_k(query, k, prune=False)
+        assert np.allclose(sorted(a.proximities), sorted(b.proximities), atol=1e-10)
+
+    @given(random_graphs(), st.integers(0, 10_000), st.integers(1, 8))
+    def test_root_override_exact(self, graph, seed, k):
+        """Figure 9's random-root variant must stay exact too."""
+        query = seed % graph.n_nodes
+        root = (seed // 7) % graph.n_nodes
+        index = KDash(graph, c=0.9).build()
+        result = index.top_k(query, k, root=root)
+        exact = direct_solve_rwr(column_normalized_adjacency(graph), query, 0.9)
+        assert exactness_certificate(result, exact, atol=1e-8)
+
+    @given(random_graphs(), st.integers(0, 10_000))
+    def test_proximity_column_matches_direct(self, graph, seed):
+        query = seed % graph.n_nodes
+        index = KDash(graph, c=0.95).build()
+        exact = direct_solve_rwr(column_normalized_adjacency(graph), query, 0.95)
+        assert np.allclose(index.proximity_column(query), exact, atol=1e-9)
+
+    @given(random_graphs(), st.integers(0, 10_000))
+    def test_theta_counts_monotone_in_k(self, graph, seed):
+        """Larger K can only weaken pruning: n_computed is monotone."""
+        query = seed % graph.n_nodes
+        index = KDash(graph, c=0.9).build()
+        computed = [index.top_k(query, k).n_computed for k in (1, 3, 9)]
+        assert computed == sorted(computed)

@@ -1,0 +1,93 @@
+"""Property-based tests for permutations and reorderings."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, strategies as st
+
+from repro.graph import column_normalized_adjacency, erdos_renyi_graph
+from repro.ordering import (
+    ClusterReordering,
+    DegreeReordering,
+    HybridReordering,
+    Permutation,
+    RandomReordering,
+)
+
+
+@st.composite
+def permutations(draw, max_n=20):
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 100_000))
+    return Permutation(np.random.default_rng(seed).permutation(n))
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 25))
+    seed = draw(st.integers(0, 100_000))
+    p = draw(st.floats(0.05, 0.5))
+    return erdos_renyi_graph(n, p, seed=seed)
+
+
+class TestPermutationAlgebra:
+    @given(permutations())
+    def test_inverse_composes_to_identity(self, p):
+        assert p.compose(p.inverse()) == Permutation.identity(p.n)
+        assert p.inverse().compose(p) == Permutation.identity(p.n)
+
+    @given(permutations())
+    def test_double_inverse(self, p):
+        assert p.inverse().inverse() == p
+
+    @given(permutations(), st.integers(0, 2 ** 31))
+    def test_vector_round_trip(self, p, seed):
+        v = np.random.default_rng(seed).random(p.n)
+        assert np.allclose(p.unpermute_vector(p.permute_vector(v)), v)
+        assert np.allclose(p.permute_vector(p.unpermute_vector(v)), v)
+
+    @given(permutations(), st.integers(0, 2 ** 31))
+    def test_matrix_permutation_preserves_spectrum(self, p, seed):
+        dense = np.random.default_rng(seed).random((p.n, p.n))
+        permuted = p.permute_matrix(sp.csr_matrix(dense)).toarray()
+        ours = np.sort(np.abs(np.linalg.eigvals(permuted)))
+        theirs = np.sort(np.abs(np.linalg.eigvals(dense)))
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    @given(permutations(), st.integers(0, 2 ** 31))
+    def test_matrix_permutation_preserves_nnz(self, p, seed):
+        dense = np.random.default_rng(seed).random((p.n, p.n))
+        dense[dense < 0.5] = 0.0
+        permuted = p.permute_matrix(sp.csr_matrix(dense))
+        assert permuted.nnz == int((dense != 0).sum())
+
+
+class TestReorderingContracts:
+    @given(graphs())
+    def test_all_strategies_emit_valid_permutations(self, g):
+        for strategy in (
+            DegreeReordering(),
+            ClusterReordering(),
+            HybridReordering(),
+            RandomReordering(seed=0),
+        ):
+            perm = strategy.compute(g)
+            assert perm.n == g.n_nodes
+            assert np.array_equal(np.sort(perm.position), np.arange(g.n_nodes))
+
+    @given(graphs())
+    def test_degree_sorted(self, g):
+        perm = DegreeReordering().compute(g)
+        degrees = g.degree_array()[perm.original]
+        assert np.all(np.diff(degrees) >= 0)
+
+    @given(graphs())
+    def test_reordering_never_changes_answers(self, g):
+        """The load-bearing property: reordering is a pure optimisation."""
+        from repro.core import KDash
+        from repro.rwr import direct_solve_rwr
+
+        a = column_normalized_adjacency(g)
+        exact = direct_solve_rwr(a, 0, 0.9)
+        for reordering in ("degree", "cluster", "hybrid", "random"):
+            index = KDash(g, c=0.9, reordering=reordering).build()
+            assert np.allclose(index.proximity_column(0), exact, atol=1e-9)

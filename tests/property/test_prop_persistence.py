@@ -1,0 +1,47 @@
+"""Property-based test: index persistence is lossless.
+
+For arbitrary graphs and restart probabilities, saving and loading a
+built index must preserve every query result bit-for-bit.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import KDash, load_index, save_index
+from repro.graph import erdos_renyi_graph
+
+
+@st.composite
+def built_indexes(draw):
+    n = draw(st.integers(2, 20))
+    seed = draw(st.integers(0, 20_000))
+    p = draw(st.floats(0.1, 0.4))
+    c = draw(st.sampled_from([0.5, 0.9, 0.95]))
+    graph = erdos_renyi_graph(n, p, seed=seed)
+    return KDash(graph, c=c).build()
+
+
+class TestPersistenceRoundTrip:
+    @settings(max_examples=15)
+    @given(built_indexes(), st.integers(0, 10_000), st.integers(1, 8))
+    def test_round_trip_bitwise(self, tmp_path_factory, index, seed, k):
+        path = str(tmp_path_factory.mktemp("idx") / "index.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        n = index.graph.n_nodes
+        query = seed % n
+        assert index.top_k(query, k).items == loaded.top_k(query, k).items
+        assert np.array_equal(
+            index.proximity_column(query), loaded.proximity_column(query)
+        )
+
+    @settings(max_examples=10)
+    @given(built_indexes())
+    def test_metadata_preserved(self, tmp_path_factory, index):
+        path = str(tmp_path_factory.mktemp("idx") / "index.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.c == index.c
+        assert loaded.graph.n_nodes == index.graph.n_nodes
+        assert loaded.graph.n_edges == index.graph.n_edges
+        assert loaded.index_nnz == index.index_nnz

@@ -1,0 +1,90 @@
+"""Property-based tests for RWR solvers and Louvain invariants."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.community import Partition, louvain_communities, modularity
+from repro.graph import DiGraph, column_normalized_adjacency, erdos_renyi_graph
+from repro.rwr import direct_solve_rwr, power_iteration_rwr, top_k_from_vector
+
+
+@st.composite
+def graphs_with_query(draw):
+    n = draw(st.integers(2, 30))
+    seed = draw(st.integers(0, 100_000))
+    p = draw(st.floats(0.05, 0.4))
+    g = erdos_renyi_graph(n, p, seed=seed)
+    query = draw(st.integers(0, n - 1))
+    c = draw(st.sampled_from([0.3, 0.7, 0.95]))
+    return g, query, c
+
+
+class TestRWRInvariants:
+    @given(graphs_with_query())
+    def test_solvers_agree(self, args):
+        g, query, c = args
+        a = column_normalized_adjacency(g)
+        p_power = power_iteration_rwr(a, query, c)
+        p_direct = direct_solve_rwr(a, query, c)
+        assert np.allclose(p_power, p_direct, atol=1e-8)
+
+    @given(graphs_with_query())
+    def test_distribution_properties(self, args):
+        g, query, c = args
+        a = column_normalized_adjacency(g)
+        p = direct_solve_rwr(a, query, c)
+        assert np.all(p >= -1e-12)
+        assert p.sum() <= 1.0 + 1e-9
+        assert p[query] >= c - 1e-12  # restart mass floor at the query
+
+    @given(graphs_with_query())
+    def test_query_is_argmax(self, args):
+        """With c >= 0.5 the query dominates every other node."""
+        g, query, c = args
+        if c < 0.5:
+            return
+        a = column_normalized_adjacency(g)
+        p = direct_solve_rwr(a, query, c)
+        assert p[query] == np.max(p)
+
+    @given(graphs_with_query())
+    def test_unreachable_nodes_have_zero(self, args):
+        g, query, c = args
+        from repro.graph import reachable_set
+
+        a = column_normalized_adjacency(g)
+        p = direct_solve_rwr(a, query, c)
+        reachable = set(reachable_set(g, query).tolist())
+        for u in range(g.n_nodes):
+            if u not in reachable:
+                assert abs(p[u]) < 1e-12
+
+    @given(graphs_with_query(), st.integers(1, 10))
+    def test_top_k_is_sorted_prefix(self, args, k):
+        g, query, c = args
+        a = column_normalized_adjacency(g)
+        p = direct_solve_rwr(a, query, c)
+        top = top_k_from_vector(p, k)
+        values = [v for _, v in top]
+        assert values == sorted(values, reverse=True)
+        if top:
+            kth = values[-1]
+            outside = [p[u] for u in range(g.n_nodes) if u not in {n for n, _ in top}]
+            assert all(v <= kth + 1e-12 for v in outside)
+
+
+class TestLouvainInvariants:
+    @given(st.integers(0, 10_000), st.integers(2, 25), st.floats(0.05, 0.5))
+    def test_partition_is_valid(self, seed, n, p):
+        g = erdos_renyi_graph(n, p, seed=seed)
+        part = louvain_communities(g, seed=0)
+        assert part.n_nodes == n
+        assert 1 <= part.n_communities <= n
+
+    @given(st.integers(0, 10_000), st.integers(2, 20), st.floats(0.1, 0.5))
+    def test_beats_or_matches_trivial_partitions(self, seed, n, p):
+        g = erdos_renyi_graph(n, p, seed=seed)
+        part = louvain_communities(g, seed=0)
+        q = modularity(g, part)
+        assert q >= modularity(g, Partition([0] * n)) - 1e-12
+        assert q >= modularity(g, Partition.singletons(n)) - 1e-12

@@ -1,0 +1,123 @@
+"""Property-based tests for the sparse kernel."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    sparse_lower_inverse,
+    sparse_matmat,
+    sparse_upper_inverse,
+)
+
+
+def sparse_dense(draw, n_rows, n_cols, density=0.35):
+    """Draw a random dense matrix with controlled sparsity."""
+    values = draw(
+        hnp.arrays(
+            np.float64,
+            (n_rows, n_cols),
+            elements=st.floats(-2.0, 2.0, allow_nan=False, width=64),
+        )
+    )
+    mask = draw(
+        hnp.arrays(np.bool_, (n_rows, n_cols), elements=st.booleans())
+    )
+    out = np.where(mask, values, 0.0)
+    return out
+
+
+@st.composite
+def dense_matrices(draw, max_dim=8):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    return sparse_dense(draw, n_rows, n_cols)
+
+
+@st.composite
+def unit_lower_matrices(draw, max_dim=8):
+    n = draw(st.integers(1, max_dim))
+    dense = np.tril(sparse_dense(draw, n, n), k=-1)
+    np.fill_diagonal(dense, 1.0)
+    return dense
+
+
+class TestFormatRoundTrips:
+    @given(dense_matrices())
+    def test_coo_csr_csc_round_trip(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        assert np.allclose(coo.to_csr().to_dense(), dense)
+        assert np.allclose(coo.to_csc().to_dense(), dense)
+        assert np.allclose(coo.to_csr().to_csc().to_dense(), dense)
+
+    @given(dense_matrices())
+    def test_transpose_involution(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert np.allclose(csr.transpose().transpose().to_dense(), dense)
+
+    @given(dense_matrices())
+    def test_scipy_agreement(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert np.allclose(csr.to_scipy().toarray(), dense)
+        csc = CSCMatrix.from_dense(dense)
+        assert np.allclose(csc.to_scipy().toarray(), dense)
+
+
+class TestLinearAlgebraProperties:
+    @given(dense_matrices(), st.integers(0, 2 ** 31))
+    def test_matvec_matches_dense(self, dense, seed):
+        x = np.random.default_rng(seed).random(dense.shape[1])
+        csr = CSRMatrix.from_dense(dense)
+        csc = CSCMatrix.from_dense(dense)
+        assert np.allclose(csr.matvec(x), dense @ x)
+        assert np.allclose(csc.matvec(x), dense @ x)
+
+    @given(st.data())
+    def test_matmat_matches_dense(self, data):
+        k = data.draw(st.integers(1, 6))
+        a = data.draw(dense_matrices(max_dim=6))
+        # draw b with a compatible inner dimension
+        b = data.draw(
+            hnp.arrays(
+                np.float64,
+                (a.shape[1], k),
+                elements=st.floats(-2.0, 2.0, allow_nan=False, width=64),
+            )
+        )
+        product = sparse_matmat(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b))
+        assert np.allclose(product.to_dense(), a @ b, atol=1e-12)
+
+
+class TestTriangularInverseProperties:
+    @given(unit_lower_matrices())
+    def test_lower_inverse_is_inverse(self, dense):
+        inv = sparse_lower_inverse(CSCMatrix.from_dense(dense), unit_diagonal=True)
+        n = dense.shape[0]
+        assert np.allclose(inv.to_dense() @ dense, np.eye(n), atol=1e-9)
+
+    @given(unit_lower_matrices())
+    def test_lower_inverse_unit_diagonal(self, dense):
+        inv = sparse_lower_inverse(CSCMatrix.from_dense(dense), unit_diagonal=True)
+        assert np.allclose(np.diag(inv.to_dense()), 1.0)
+
+    @given(unit_lower_matrices())
+    def test_upper_inverse_via_transpose(self, dense):
+        # U = (unit lower)^T + diagonal boost keeps it invertible.
+        upper = dense.T.copy()
+        np.fill_diagonal(upper, 1.5)
+        inv = sparse_upper_inverse(CSCMatrix.from_dense(upper))
+        n = upper.shape[0]
+        assert np.allclose(inv.to_dense() @ upper, np.eye(n), atol=1e-9)
+
+    @given(unit_lower_matrices())
+    def test_no_spurious_fill_outside_closure(self, dense):
+        # The support of L^-1 is contained in the reachability closure of
+        # L's graph; in particular if L is diagonal, so is L^-1.
+        diag_only = np.diag(np.diag(dense))
+        inv = sparse_lower_inverse(
+            CSCMatrix.from_dense(diag_only), unit_diagonal=True
+        )
+        assert inv.nnz == dense.shape[0]

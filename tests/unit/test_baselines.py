@@ -1,0 +1,192 @@
+"""Unit tests for the four baselines + the iterative reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BasicPushAlgorithm, BLin, IterativeRWR, LocalRWR, NBLin
+from repro.exceptions import IndexNotBuiltError, InvalidParameterError
+from repro.graph import column_normalized_adjacency, planted_partition_graph
+from repro.rwr import direct_solve_rwr, top_k_from_vector
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    return planted_partition_graph([25, 25, 25], 0.3, 0.02, seed=11, weight_scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def exact_vectors(community_graph):
+    a = column_normalized_adjacency(community_graph)
+    return {q: direct_solve_rwr(a, q, 0.95) for q in (0, 30, 60)}
+
+
+class TestBaseContract:
+    def test_query_before_build_rejected(self, community_graph):
+        nb = NBLin(community_graph)
+        with pytest.raises(IndexNotBuiltError):
+            nb.top_k(0, 5)
+        with pytest.raises(IndexNotBuiltError):
+            nb.proximity_vector(0)
+
+    def test_result_counters(self, community_graph):
+        nb = NBLin(community_graph, target_rank=10).build()
+        res = nb.top_k(0, 5)
+        assert res.n_computed == community_graph.n_nodes
+        assert res.k == 5
+        assert len(res.items) == 5
+
+
+class TestNBLin:
+    def test_near_full_rank_is_near_exact(self, community_graph, exact_vectors):
+        nb = NBLin(community_graph, target_rank=community_graph.n_nodes - 1).build()
+        p = nb.proximity_vector(0)
+        assert np.allclose(p, exact_vectors[0], atol=1e-4)
+
+    def test_low_rank_is_lossy(self, community_graph, exact_vectors):
+        nb = NBLin(community_graph, target_rank=5).build()
+        p = nb.proximity_vector(0)
+        assert not np.allclose(p, exact_vectors[0], atol=1e-6)
+
+    def test_rank_clamped(self, community_graph):
+        nb = NBLin(community_graph, target_rank=10_000).build()
+        assert nb.effective_rank <= community_graph.n_nodes - 1
+
+    def test_precision_improves_with_rank(self, community_graph, exact_vectors):
+        def precision(rank):
+            nb = NBLin(community_graph, target_rank=rank).build()
+            hits = 0
+            for q, exact in exact_vectors.items():
+                truth = {u for u, _ in top_k_from_vector(exact, 5)}
+                found = set(nb.top_k(q, 5).nodes)
+                hits += len(truth & found)
+            return hits
+        assert precision(60) >= precision(4)
+
+    def test_tiny_graph_rejected(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph(2)
+        g.add_edge(0, 1)
+        with pytest.raises(InvalidParameterError):
+            NBLin(g).build()
+
+    def test_invalid_rank(self, community_graph):
+        with pytest.raises(InvalidParameterError):
+            NBLin(community_graph, target_rank=0)
+
+
+class TestBLin:
+    def test_no_cross_edges_exact(self):
+        # With p_out = 0 the correction term vanishes and B_LIN is exact.
+        g = planted_partition_graph([20, 20], 0.5, 0.0, seed=12)
+        bl = BLin(g, target_rank=5).build()
+        a = column_normalized_adjacency(g)
+        exact = direct_solve_rwr(a, 3, 0.95)
+        assert np.allclose(bl.proximity_vector(3), exact, atol=1e-8)
+
+    def test_beats_nb_lin_at_equal_rank(self, community_graph, exact_vectors):
+        rank = 8
+        bl = BLin(community_graph, target_rank=rank).build()
+        nb = NBLin(community_graph, target_rank=rank).build()
+        bl_err = sum(
+            np.abs(bl.proximity_vector(q) - exact).sum()
+            for q, exact in exact_vectors.items()
+        )
+        nb_err = sum(
+            np.abs(nb.proximity_vector(q) - exact).sum()
+            for q, exact in exact_vectors.items()
+        )
+        assert bl_err <= nb_err
+
+    def test_block_cap_respected(self, community_graph):
+        bl = BLin(community_graph, target_rank=5, max_block=10).build()
+        assert bl.n_blocks >= 8  # 75 nodes / cap 10
+
+
+class TestBPA:
+    def test_converges_to_exact(self, community_graph, exact_vectors):
+        bpa = BasicPushAlgorithm(
+            community_graph, n_hubs=0, residual_tolerance=1e-10
+        ).build()
+        p = bpa.proximity_vector(0)
+        assert np.allclose(p, exact_vectors[0], atol=1e-7)
+
+    def test_hubs_reduce_pushes(self, community_graph):
+        no_hubs = BasicPushAlgorithm(community_graph, n_hubs=0).build()
+        many_hubs = BasicPushAlgorithm(community_graph, n_hubs=40).build()
+        assert many_hubs.top_k(0, 5).n_computed < no_hubs.top_k(0, 5).n_computed
+
+    def test_lower_bounds_never_exceed_truth(self, community_graph, exact_vectors):
+        bpa = BasicPushAlgorithm(
+            community_graph, n_hubs=10, residual_tolerance=1e-4
+        ).build()
+        p = bpa.proximity_vector(0)
+        assert np.all(p <= exact_vectors[0] + 1e-9)
+
+    def test_recall_one_certificate(self, community_graph, exact_vectors):
+        bpa = BasicPushAlgorithm(community_graph, n_hubs=10).build()
+        for q, exact in exact_vectors.items():
+            res = bpa.top_k(q, 5)
+            truth = {u for u, _ in top_k_from_vector(exact, 5)}
+            # answer-set certificate: every true top-k node is admitted
+            p = bpa.proximity_vector(q)
+            upper = p + bpa.last_residual
+            theta = res.items[-1][1]
+            assert all(upper[u] >= theta - 1e-12 for u in truth)
+
+    def test_answer_set_at_least_k(self, community_graph):
+        bpa = BasicPushAlgorithm(community_graph, n_hubs=10).build()
+        bpa.top_k(0, 5)
+        assert bpa.last_answer_set_size >= 5
+
+    def test_invalid_params(self, community_graph):
+        with pytest.raises(InvalidParameterError):
+            BasicPushAlgorithm(community_graph, n_hubs=-1)
+        with pytest.raises(InvalidParameterError):
+            BasicPushAlgorithm(community_graph, residual_tolerance=0.0)
+        with pytest.raises(InvalidParameterError):
+            BasicPushAlgorithm(community_graph, max_pushes=0)
+
+
+class TestLocalRWR:
+    def test_zero_outside_partition(self, community_graph):
+        lr = LocalRWR(community_graph).build()
+        p = lr.proximity_vector(0)
+        cid = lr._assignment[0]
+        outside = np.flatnonzero(lr._assignment != cid)
+        assert np.all(p[outside] == 0.0)
+
+    def test_good_inside_community(self, community_graph, exact_vectors):
+        # Within the query's community the local estimate tracks the
+        # global proximity closely (the paper's rationale).
+        lr = LocalRWR(community_graph).build()
+        p = lr.proximity_vector(0)
+        exact = exact_vectors[0]
+        truth_top = [u for u, _ in top_k_from_vector(exact, 5)]
+        local_top = lr.top_k(0, 5).nodes
+        assert len(set(truth_top) & set(local_top)) >= 3
+
+    def test_singleton_partition(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        lr = LocalRWR(g).build()
+        p = lr.proximity_vector(2)  # isolated node: own partition
+        assert p[2] == 1.0
+        assert p.sum() == 1.0
+
+
+class TestIterative:
+    def test_matches_direct(self, community_graph, exact_vectors):
+        it = IterativeRWR(community_graph).build()
+        assert np.allclose(it.proximity_vector(0), exact_vectors[0], atol=1e-9)
+
+    def test_top_k_is_brute_force(self, community_graph, exact_vectors):
+        it = IterativeRWR(community_graph).build()
+        res = it.top_k(30, 5)
+        expected = top_k_from_vector(exact_vectors[30], 5)
+        assert res.items == tuple(
+            (u, pytest.approx(p, abs=1e-9)) for u, p in expected
+        )

@@ -1,0 +1,69 @@
+"""Unit tests for the BFS visit schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSTree
+from repro.graph import DiGraph
+
+
+class TestSchedule:
+    def test_tiny_graph(self, tiny_graph):
+        tree = BFSTree(tiny_graph, 0)
+        assert tree.root == 0
+        assert tree.n_scheduled == 7
+        assert tree.depth == 3
+        layers = [layer for _, layer in tree]
+        assert layers == sorted(layers)
+
+    def test_layer_of(self, tiny_graph):
+        tree = BFSTree(tiny_graph, 0)
+        assert tree.layer_of(0) == 0
+        assert tree.layer_of(4) == 2
+
+    def test_unreached_excluded_by_default(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1)
+        tree = BFSTree(g, 0)
+        assert tree.n_scheduled == 2
+        assert set(tree.unreached().tolist()) == {2, 3}
+
+    def test_include_unreached_appends_synthetic_layer(self):
+        g = DiGraph(5)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        tree = BFSTree(g, 0, include_unreached=True)
+        assert tree.n_scheduled == 5
+        assert tree.n_tree_nodes == 3
+        schedule = list(tree)
+        # non-tree nodes come last, all on layer depth(tree)+1
+        tail = schedule[3:]
+        assert [node for node, _ in tail] == [3, 4]
+        assert all(layer == 3 for _, layer in tail)
+
+    def test_layers_still_ascending_with_unreached(self):
+        g = DiGraph(6)
+        g.add_edges([(0, 1), (1, 2), (4, 5)])
+        tree = BFSTree(g, 0, include_unreached=True)
+        layers = [layer for _, layer in tree]
+        assert layers == sorted(layers)
+
+    def test_single_node_graph(self):
+        tree = BFSTree(DiGraph(1), 0)
+        assert tree.n_scheduled == 1
+        assert tree.depth == 0
+
+    def test_invalid_root(self, tiny_graph):
+        from repro.exceptions import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            BFSTree(tiny_graph, 7)
+
+    def test_bfs_edge_property(self, sf_graph):
+        # For every edge u -> v, layer(v) <= layer(u) + 1 — the property
+        # Lemma 1's neighbourhood argument rests on.
+        tree = BFSTree(sf_graph, 0)
+        layers = tree.layers
+        for u, v, _ in sf_graph.edges():
+            if layers[u] >= 0 and layers[v] >= 0:
+                assert layers[v] <= layers[u] + 1

@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic dataset registry and generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.datasets.labels import TOPIC_HUBS, TOPIC_MEMBERS, generate_vocabulary
+from repro.exceptions import InvalidParameterError
+from repro.graph import graph_statistics
+
+
+SMALL = 0.15  # scale used by most tests to stay fast
+
+
+class TestRegistry:
+    def test_names(self):
+        assert DATASET_NAMES == ("Dictionary", "Internet", "Citation", "Social", "Email")
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("Twitter")
+
+    def test_caching(self):
+        a = load_dataset("Internet", SMALL)
+        b = load_dataset("Internet", SMALL)
+        assert a is b
+
+    def test_scales_are_distinct(self):
+        a = load_dataset("Internet", SMALL)
+        b = load_dataset("Internet", 0.2)
+        assert a.n_nodes != b.n_nodes
+
+    def test_metadata(self):
+        ds = load_dataset("Email", SMALL)
+        assert ds.paper_n == 265_214
+        assert ds.paper_m == 420_045
+        assert "mail" in ds.description.lower() or "email" in ds.description.lower()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generators_deterministic(self, name):
+        from repro.datasets import registry
+
+        generator = registry._SPECS[name][0]
+        a = generator(SMALL)
+        b = generator(SMALL)
+        assert a.n_nodes == b.n_nodes
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestStructuralRegimes:
+    def test_dictionary_heavy_tail_and_labels(self):
+        ds = load_dataset("Dictionary", 0.3)
+        stats = graph_statistics(ds.graph)
+        assert stats.degree_gini > 0.4
+        assert ds.graph.labels is not None
+        for hub in TOPIC_HUBS:
+            node = ds.graph.node_by_label(hub)
+            assert ds.graph.out_degree(node) > 0
+
+    def test_dictionary_topic_clusters_linked(self):
+        ds = load_dataset("Dictionary", 0.3)
+        g = ds.graph
+        hub = g.node_by_label("microsoft")
+        member = g.node_by_label("ms-dos")
+        assert g.has_edge(hub, member) and g.has_edge(member, hub)
+
+    def test_internet_power_law_and_connected(self):
+        ds = load_dataset("Internet", SMALL)
+        stats = graph_statistics(ds.graph)
+        assert stats.n_components == 1
+        assert stats.degree_gini > 0.25
+        assert stats.dangling_nodes == 0
+
+    def test_citation_weighted_communities(self):
+        ds = load_dataset("Citation", SMALL)
+        weights = [w for _, _, w in ds.graph.edges()]
+        assert min(weights) >= 1.0
+        assert max(weights) > 1.5  # exponential collaboration weights
+
+    def test_social_reciprocity(self):
+        ds = load_dataset("Social", SMALL)
+        stats = graph_statistics(ds.graph)
+        assert stats.reciprocity > 0.2
+        assert stats.degree_gini > 0.4
+
+    def test_email_dangling_fringe(self):
+        ds = load_dataset("Email", SMALL)
+        stats = graph_statistics(ds.graph)
+        assert stats.dangling_nodes > 0.2 * stats.n_nodes
+        assert stats.n_edges < 5 * stats.n_nodes  # sparse regime
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_invalid_scale(self, name):
+        from repro.datasets import registry
+
+        generator = registry._SPECS[name][0]
+        with pytest.raises(InvalidParameterError):
+            generator(0.0)
+        with pytest.raises(InvalidParameterError):
+            generator(-1.0)
+
+
+class TestVocabulary:
+    def test_count_and_uniqueness(self):
+        terms = generate_vocabulary(500, seed=1)
+        assert len(terms) == 500
+        assert len(set(terms)) == 500
+
+    def test_deterministic(self):
+        assert generate_vocabulary(50, seed=2) == generate_vocabulary(50, seed=2)
+
+    def test_members_defined_for_every_hub(self):
+        for hub in TOPIC_HUBS:
+            assert len(TOPIC_MEMBERS[hub]) >= 5

@@ -1,0 +1,185 @@
+"""Unit tests for the Definition 1/2 proximity estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFSTree, ProximityEstimator
+from repro.exceptions import InvalidParameterError
+from repro.graph import column_normalized_adjacency
+from repro.rwr import direct_solve_rwr
+from repro.sparse import CSCMatrix, sparse_column_max
+
+
+def make_estimator(graph, query, c=0.9, total_mass=1.0):
+    a = column_normalized_adjacency(graph)
+    kernel = CSCMatrix.from_scipy(a)
+    amax_col = sparse_column_max(kernel)
+    return (
+        ProximityEstimator(
+            amax_col, float(amax_col.max()), a.diagonal(), c, query,
+            total_mass=total_mass,
+        ),
+        a,
+    )
+
+
+class TestProtocol:
+    def test_query_bound_is_one(self, tiny_graph):
+        est, _ = make_estimator(tiny_graph, 0)
+        assert est.step(0, 0) == 1.0
+
+    def test_record_requires_step(self, tiny_graph):
+        est, _ = make_estimator(tiny_graph, 0)
+        with pytest.raises(InvalidParameterError):
+            est.record(3, 0.1)
+
+    def test_layers_must_ascend(self, tiny_graph):
+        est, _ = make_estimator(tiny_graph, 0)
+        est.step(0, 0)
+        est.record(0, 0.9)
+        est.step(1, 1)
+        est.record(1, 0.01)
+        with pytest.raises(InvalidParameterError):
+            est.step(2, 0)
+
+    def test_c_prime_no_self_loops(self, tiny_graph):
+        est, _ = make_estimator(tiny_graph, 0, c=0.9)
+        assert est.c_prime == pytest.approx(0.1)
+
+    def test_total_mass_validation(self, tiny_graph):
+        a = column_normalized_adjacency(tiny_graph)
+        kernel = CSCMatrix.from_scipy(a)
+        amax_col = sparse_column_max(kernel)
+        with pytest.raises(InvalidParameterError):
+            ProximityEstimator(
+                amax_col, 1.0, a.diagonal(), 0.9, 0, total_mass=1.5
+            )
+
+
+class TestDefinition2Updates:
+    def test_same_layer_accumulates_t2(self, tiny_graph):
+        est, a = make_estimator(tiny_graph, 0)
+        est.step(0, 0)
+        est.record(0, 0.9)
+        est.step(1, 1)
+        est.record(1, 0.05)
+        t1_before, t2_before, _ = est.bound_terms()
+        est.step(2, 1)
+        est.record(2, 0.04)
+        t1_after, t2_after, _ = est.bound_terms()
+        assert t1_after == t1_before  # t1 untouched on the same layer
+        amax_2 = a[:, 2].toarray().max()
+        assert t2_after == pytest.approx(t2_before + 0.04 * amax_2)
+
+    def test_layer_advance_shifts_terms(self, tiny_graph):
+        est, _ = make_estimator(tiny_graph, 0)
+        est.step(0, 0)
+        est.record(0, 0.9)
+        est.step(1, 1)
+        est.record(1, 0.05)
+        _, t2_before, _ = est.bound_terms()
+        est.step(3, 2)  # layer advance
+        t1_after, t2_after, _ = est.bound_terms()
+        assert t1_after == pytest.approx(t2_before)
+        assert t2_after == 0.0
+
+    def test_layer_skip_resets_terms(self, tiny_graph):
+        est, _ = make_estimator(tiny_graph, 0)
+        est.step(0, 0)
+        est.record(0, 0.9)
+        est.step(1, 3)  # jumps straight to layer 3
+        t1, t2, _ = est.bound_terms()
+        assert t1 == 0.0 and t2 == 0.0
+
+    def test_t3_tracks_selected_mass(self, tiny_graph):
+        est, _ = make_estimator(tiny_graph, 0)
+        est.step(0, 0)
+        est.record(0, 0.9)
+        _, _, t3 = est.bound_terms()
+        assert t3 == pytest.approx((1.0 - 0.9) * 1.0, abs=1e-9) or t3 >= 0.0
+        assert est.selected_mass == pytest.approx(0.9)
+
+    def test_total_mass_tightens_t3(self, tiny_graph):
+        est_loose, _ = make_estimator(tiny_graph, 0, total_mass=1.0)
+        est_tight, _ = make_estimator(tiny_graph, 0, total_mass=0.97)
+        for est in (est_loose, est_tight):
+            est.step(0, 0)
+            est.record(0, 0.9)
+        assert est_tight.bound_terms()[2] < est_loose.bound_terms()[2]
+
+
+class TestLemma1OnGraphs:
+    """The bound must dominate the true proximity at every visited node."""
+
+    @pytest.mark.parametrize("c", [0.5, 0.9, 0.95])
+    def test_bound_dominates_truth(self, sf_graph, c):
+        query = 0
+        a = column_normalized_adjacency(sf_graph)
+        exact = direct_solve_rwr(a, query, c)
+        est, _ = make_estimator(sf_graph, query, c=c)
+        tree = BFSTree(sf_graph, query)
+        for node, layer in tree:
+            bound = est.step(node, layer)
+            assert bound >= exact[node] - 1e-12, (node, layer)
+            est.record(node, float(exact[node]))
+
+    def test_bound_dominates_truth_paper_example(self, tiny_graph):
+        # The Figure 8 walk-through from Appendix A.2.
+        query = 0
+        c = 0.9
+        a = column_normalized_adjacency(tiny_graph)
+        exact = direct_solve_rwr(a, query, c)
+        est, _ = make_estimator(tiny_graph, query, c=c)
+        for node, layer in BFSTree(tiny_graph, query):
+            bound = est.step(node, layer)
+            assert bound >= exact[node] - 1e-12
+            est.record(node, float(exact[node]))
+
+
+class TestLemma2OnGraphs:
+    """Bounds must be non-increasing along the visit order (non-query)."""
+
+    def test_monotone_bounds(self, sf_graph):
+        query = 2
+        a = column_normalized_adjacency(sf_graph)
+        exact = direct_solve_rwr(a, query, 0.95)
+        est, _ = make_estimator(sf_graph, query, c=0.95)
+        previous = None
+        for node, layer in BFSTree(sf_graph, query):
+            bound = est.step(node, layer)
+            if node != query:
+                if previous is not None:
+                    assert bound <= previous + 1e-12
+                previous = bound
+            est.record(node, float(exact[node]))
+
+
+class TestLemma3Incremental:
+    """The O(1) incremental terms must equal Definition 1's direct sums."""
+
+    def test_incremental_equals_direct(self, sf_graph):
+        query = 1
+        c = 0.95
+        a = column_normalized_adjacency(sf_graph)
+        kernel = CSCMatrix.from_scipy(a)
+        amax_col = sparse_column_max(kernel)
+        exact = direct_solve_rwr(a, query, c)
+        est, _ = make_estimator(sf_graph, query, c=c)
+        tree = BFSTree(sf_graph, query)
+        layers = tree.layers
+        selected = []
+        for node, layer in tree:
+            est.step(node, layer)
+            t1, t2, t3 = est.bound_terms()
+            direct_t1 = sum(
+                exact[v] * amax_col[v] for v in selected if layers[v] == layer - 1
+            )
+            direct_t2 = sum(
+                exact[v] * amax_col[v] for v in selected if layers[v] == layer
+            )
+            direct_t3 = (1.0 - sum(exact[v] for v in selected)) * amax_col.max()
+            assert t1 == pytest.approx(direct_t1, abs=1e-12)
+            assert t2 == pytest.approx(direct_t2, abs=1e-12)
+            assert t3 == pytest.approx(direct_t3, abs=1e-9)
+            est.record(node, float(exact[node]))
+            selected.append(node)

@@ -1,0 +1,173 @@
+"""Unit tests for metrics, timing, reporting, and the harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopKResult
+from repro.eval import (
+    ResultTable,
+    Timer,
+    exactness_certificate,
+    kendall_tau_at_k,
+    precision_at_k,
+    recall_at_k,
+    time_callable,
+)
+from repro.eval.harness import ExperimentContext
+
+
+class TestPrecision:
+    def test_perfect(self):
+        exact = np.array([0.9, 0.5, 0.3, 0.1])
+        assert precision_at_k([0, 1, 2], exact, 3) == 1.0
+
+    def test_partial(self):
+        exact = np.array([0.9, 0.5, 0.3, 0.1])
+        assert precision_at_k([0, 1, 3], exact, 3) == pytest.approx(2 / 3)
+
+    def test_tie_tolerance(self):
+        # nodes 1 and 2 tie for 2nd; returning either is correct
+        exact = np.array([0.9, 0.5, 0.5, 0.1])
+        assert precision_at_k([0, 2], exact, 2) == 1.0
+        assert precision_at_k([0, 1], exact, 2) == 1.0
+
+    def test_empty_result(self):
+        assert precision_at_k([], np.array([1.0, 0.5]), 2) == 0.0
+
+
+class TestRecall:
+    def test_mandatory_members(self):
+        exact = np.array([0.9, 0.5, 0.5, 0.1])
+        # only node 0 is strictly above the K-th value (0.5)
+        assert recall_at_k([0, 1], exact, 2) == 1.0
+        assert recall_at_k([1, 2], exact, 2) == 0.0
+
+    def test_no_mandatory(self):
+        assert recall_at_k([], np.zeros(3), 2) == 1.0
+
+
+class TestKendall:
+    def test_perfect_order(self):
+        exact = np.array([0.9, 0.5, 0.3])
+        assert kendall_tau_at_k([0, 1, 2], exact, 3) == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        exact = np.array([0.9, 0.5, 0.3])
+        assert kendall_tau_at_k([2, 1, 0], exact, 3) == pytest.approx(-1.0)
+
+    def test_degenerate_cases(self):
+        assert kendall_tau_at_k([0], np.array([1.0]), 1) == 1.0
+        assert kendall_tau_at_k([0, 1], np.array([0.5, 0.5]), 2) == 1.0
+
+
+class TestExactnessCertificate:
+    def _result(self, items, k=2):
+        return TopKResult(query=0, k=k, items=tuple(items))
+
+    def test_accepts_exact(self):
+        exact = np.array([0.9, 0.5, 0.3])
+        assert exactness_certificate(self._result([(0, 0.9), (1, 0.5)]), exact)
+
+    def test_accepts_tie_swap(self):
+        exact = np.array([0.9, 0.5, 0.5])
+        assert exactness_certificate(self._result([(0, 0.9), (2, 0.5)]), exact)
+
+    def test_rejects_wrong_value(self):
+        exact = np.array([0.9, 0.5, 0.3])
+        assert not exactness_certificate(self._result([(0, 0.9), (1, 0.4)]), exact)
+
+    def test_rejects_missing_mandatory(self):
+        exact = np.array([0.9, 0.5, 0.3])
+        assert not exactness_certificate(self._result([(0, 0.9), (2, 0.3)]), exact)
+
+    def test_rejects_short_result(self):
+        exact = np.array([0.9, 0.5, 0.3])
+        assert not exactness_certificate(self._result([(0, 0.9)], k=2), exact)
+
+
+class TestTiming:
+    def test_timer(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.seconds >= 0.0
+
+    def test_time_callable(self):
+        calls = []
+        seconds, result = time_callable(lambda: calls.append(1) or 42, repeats=3, warmup=1)
+        assert result == 42
+        assert seconds >= 0.0
+        assert len(calls) == 4  # 3 repeats + 1 warmup
+
+    def test_repeats_validation(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            time_callable(lambda: 1, repeats=0)
+
+
+class TestResultTable:
+    def test_rendering(self):
+        t = ResultTable("My table", ["name", "value"])
+        t.add_row("alpha", 1.5)
+        t.add_row("beta", 42)
+        text = t.render()
+        assert "My table" in text
+        assert "alpha" in text
+        assert "42" in text
+
+    def test_row_width_checked(self):
+        t = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_access(self):
+        t = ResultTable("t", ["a", "b"])
+        t.add_row("x", 1)
+        t.add_row("y", 2)
+        assert t.column("b") == [1, 2]
+
+    def test_row_dict(self):
+        t = ResultTable("t", ["key", "v"])
+        t.add_row("x", 10)
+        assert t.row_dict("x") == {"key": "x", "v": 10}
+        with pytest.raises(KeyError):
+            t.row_dict("zzz")
+
+    def test_markdown(self):
+        t = ResultTable("t", ["a"], notes=["a note"])
+        t.add_row(0.00001)
+        md = t.to_markdown()
+        assert md.startswith("**t**")
+        assert "1.000e-05" in md
+        assert "a note" in md
+
+    def test_formatting_rules(self):
+        t = ResultTable("t", ["a", "b", "c", "d"])
+        t.add_row(None, True, 1_234_567, 0.5)
+        rendered = t.render()
+        assert "-" in rendered
+        assert "yes" in rendered
+        assert "1.235e+06" in rendered or "1,234,567" in rendered
+
+
+class TestHarness:
+    def test_queries_deterministic_and_valid(self):
+        ctx = ExperimentContext(scale=0.15, dataset_names=("Internet",))
+        a = ctx.queries("Internet", 5)
+        b = ctx.queries("Internet", 5)
+        assert a == b
+        graph = ctx.dataset("Internet").graph
+        assert all(graph.out_degree(q) > 0 for q in a)
+
+    def test_method_caching(self):
+        ctx = ExperimentContext(scale=0.15, dataset_names=("Internet",))
+        assert ctx.kdash("Internet") is ctx.kdash("Internet")
+        assert ctx.nb_lin("Internet", 5) is ctx.nb_lin("Internet", 5)
+        assert ctx.nb_lin("Internet", 5) is not ctx.nb_lin("Internet", 6)
+
+    def test_exact_vector_cached_and_correct(self):
+        ctx = ExperimentContext(scale=0.15, dataset_names=("Internet",))
+        q = ctx.queries("Internet", 1)[0]
+        exact = ctx.exact_vector("Internet", q)
+        index = ctx.kdash("Internet")
+        assert np.allclose(index.proximity_column(q), exact, atol=1e-9)

@@ -1,0 +1,163 @@
+"""Unit tests for the random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph import (
+    barabasi_albert_graph,
+    bipartite_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    planted_partition_graph,
+    scale_free_digraph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.statistics import gini_coefficient
+
+
+class TestErdosRenyi:
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_graph(30, 0.2, seed=5)
+        b = erdos_renyi_graph(30, 0.2, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_graph(30, 0.2, seed=5)
+        b = erdos_renyi_graph(30, 0.2, seed=6)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_p_zero_empty(self):
+        g = erdos_renyi_graph(10, 0.0, seed=1)
+        assert g.n_edges == 0
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_graph(20, 0.5, seed=2)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_undirected_mode_symmetric(self):
+        g = erdos_renyi_graph(20, 0.3, directed=False, seed=3)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_edge_count_near_expectation(self):
+        n, p = 50, 0.1
+        g = erdos_renyi_graph(n, p, seed=11)
+        expected = p * n * (n - 1)
+        assert 0.6 * expected < g.n_edges < 1.4 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(5, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_structure(self):
+        g = barabasi_albert_graph(100, 2, seed=1)
+        assert g.n_nodes == 100
+        # every node beyond the seed clique has >= m_attach out-links
+        degrees = g.degree_array()
+        assert degrees.min() >= 2
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(300, 2, seed=2)
+        assert gini_coefficient(g.degree_array()) > 0.3
+
+    def test_symmetric(self):
+        g = barabasi_albert_graph(50, 3, seed=3)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_m_attach_must_be_less_than_n(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestScaleFree:
+    def test_sizes(self):
+        g = scale_free_digraph(200, 800, seed=4)
+        assert g.n_nodes == 200
+        assert 0.9 * 800 <= g.n_edges <= 800
+
+    def test_heavy_tailed_in_degree(self):
+        g = scale_free_digraph(400, 2000, seed=5)
+        assert gini_coefficient(g.in_degree_array()) > 0.4
+
+    def test_reciprocity_knob(self):
+        g0 = scale_free_digraph(200, 1000, reciprocity=0.0, seed=6)
+        g1 = scale_free_digraph(200, 1000, reciprocity=0.8, seed=6)
+
+        def reciprocity(g):
+            mutual = sum(1 for u, v, _ in g.edges() if g.has_edge(v, u))
+            return mutual / g.n_edges
+
+        assert reciprocity(g1) > reciprocity(g0) + 0.2
+
+    def test_no_self_loops(self):
+        g = scale_free_digraph(100, 400, seed=7)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_exponent_validation(self):
+        with pytest.raises(InvalidParameterError):
+            scale_free_digraph(10, 20, out_exponent=1.0)
+
+
+class TestPlantedPartition:
+    def test_community_densities(self):
+        sizes = [25, 25]
+        g = planted_partition_graph(sizes, 0.5, 0.01, seed=8)
+        intra = sum(
+            1 for u, v, _ in g.edges() if (u < 25) == (v < 25)
+        )
+        inter = g.n_edges - intra
+        assert intra > inter * 3
+
+    def test_weights_positive(self):
+        g = planted_partition_graph([10, 10], 0.4, 0.05, weight_scale=2.0, seed=9)
+        assert all(w >= 1.0 for _, _, w in g.edges())
+
+    def test_directed_mode(self):
+        g = planted_partition_graph([15, 15], 0.3, 0.0, directed=True, seed=10)
+        asymmetric = sum(1 for u, v, _ in g.edges() if not g.has_edge(v, u))
+        assert asymmetric > 0
+
+
+class TestSmallTopologies:
+    def test_watts_strogatz_degree(self):
+        g = watts_strogatz_graph(30, 4, 0.0, seed=11)
+        # without rewiring the ring lattice is 4-regular
+        assert all(g.degree(u) == 8 for u in g.nodes())  # in+out counted
+
+    def test_watts_strogatz_rewiring_changes_edges(self):
+        g0 = watts_strogatz_graph(30, 4, 0.0, seed=12)
+        g1 = watts_strogatz_graph(30, 4, 0.9, seed=12)
+        assert sorted(g0.edges()) != sorted(g1.edges())
+
+    def test_watts_strogatz_validation(self):
+        with pytest.raises(InvalidParameterError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n_nodes == 12
+        # interior nodes have 4 undirected neighbours = degree 8
+        assert g.degree(5) == 8
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.n_nodes == 7
+        assert g.out_degree(0) == 6
+        assert g.in_degree(0) == 6
+        assert g.degree(3) == 2
+
+    def test_star_zero_leaves(self):
+        g = star_graph(0)
+        assert g.n_nodes == 1
+        assert g.n_edges == 0
+
+    def test_bipartite_structure(self):
+        g = bipartite_graph(10, 15, 0.3, seed=13)
+        assert g.n_nodes == 25
+        for u, v, _ in g.edges():
+            assert (u < 10) != (v < 10)  # edges only cross the partition

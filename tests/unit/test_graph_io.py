@@ -1,0 +1,85 @@
+"""Unit tests for edge-list serialisation."""
+
+import pytest
+
+from repro.exceptions import GraphError, SerializationError
+from repro.graph import DiGraph, read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_weighted_round_trip(self, tmp_path, er_graph):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(er_graph, path)
+        back = read_edge_list(path)
+        assert back.n_nodes == er_graph.n_nodes
+        assert sorted(back.edges()) == sorted(er_graph.edges())
+
+    def test_isolated_trailing_nodes_preserved(self, tmp_path):
+        g = DiGraph(5)
+        g.add_edge(0, 1)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.n_nodes == 5
+
+    def test_unweighted_mode(self, tmp_path):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 7.5)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path, include_weights=False)
+        back = read_edge_list(path)
+        assert back.edge_weight(0, 1) == 1.0
+
+    def test_weight_precision(self, tmp_path):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 0.12345678901234567)
+        path = str(tmp_path / "g.txt")
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.edge_weight(0, 1) == pytest.approx(0.12345678901234567, abs=0)
+
+
+class TestReading:
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1 2.0\n# another\n1 0\n")
+        g = read_edge_list(str(path))
+        assert g.n_edges == 2
+        assert g.edge_weight(0, 1) == 2.0
+        assert g.edge_weight(1, 0) == 1.0
+
+    def test_n_nodes_override(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(str(path), n_nodes=10)
+        assert g.n_nodes == 10
+
+    def test_inferred_from_max_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 7\n")
+        g = read_edge_list(str(path))
+        assert g.n_nodes == 8
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_edge_list(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            read_edge_list(str(tmp_path / "nope.txt"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        g = read_edge_list(str(path))
+        assert g.n_nodes == 0
+        assert g.n_edges == 0
+
+    def test_duplicate_edges_accumulate(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.0\n0 1 2.0\n")
+        g = read_edge_list(str(path))
+        assert g.n_edges == 1
+        assert g.edge_weight(0, 1) == 3.0

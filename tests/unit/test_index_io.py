@@ -1,0 +1,62 @@
+"""Unit tests for index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import KDash, load_index, save_index
+from repro.exceptions import IndexNotBuiltError, SerializationError
+from repro.graph import DiGraph
+
+
+class TestSaveLoad:
+    def test_round_trip_queries_identical(self, tmp_path, er_graph):
+        index = KDash(er_graph, c=0.9).build()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.is_built
+        assert loaded.c == index.c
+        for q in (0, 5, 21):
+            original = index.top_k(q, 5)
+            restored = loaded.top_k(q, 5)
+            assert original.items == restored.items
+
+    def test_round_trip_proximity_column(self, tmp_path, er_graph):
+        index = KDash(er_graph).build()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert np.allclose(
+            index.proximity_column(3), loaded.proximity_column(3), atol=0
+        )
+
+    def test_labels_survive(self, tmp_path):
+        g = DiGraph(3, labels=["x", "y", "z"])
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        index = KDash(g, c=0.9).build()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.graph.labels == ["x", "y", "z"]
+
+    def test_unbuilt_index_rejected(self, tmp_path, er_graph):
+        with pytest.raises(IndexNotBuiltError):
+            save_index(KDash(er_graph), str(tmp_path / "x.npz"))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_index(str(tmp_path / "missing.npz"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"not an npz archive")
+        with pytest.raises(SerializationError):
+            load_index(str(path))
+
+    def test_build_report_absent_after_load(self, tmp_path, er_graph):
+        index = KDash(er_graph).build()
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        assert load_index(path).build_report is None

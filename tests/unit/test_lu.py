@@ -1,0 +1,161 @@
+"""Unit tests for the LU kernels: Crout, SuperLU backend, inverses, solve."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import DecompositionError, InvalidParameterError, SparseMatrixError
+from repro.graph import column_normalized_adjacency, rwr_system_matrix
+from repro.lu import (
+    crout_lu,
+    fill_in_report,
+    lu_solve_dense,
+    nnz_of_factors,
+    superlu_lu,
+    triangular_inverses,
+)
+
+
+@pytest.fixture
+def system_matrix(er_graph):
+    a = column_normalized_adjacency(er_graph)
+    return rwr_system_matrix(a, 0.95)
+
+
+class TestCrout:
+    def test_factors_reproduce_w(self, system_matrix):
+        ell, u = crout_lu(system_matrix)
+        assert np.allclose((ell @ u).toarray(), system_matrix.toarray())
+
+    def test_l_unit_lower(self, system_matrix):
+        ell, _ = crout_lu(system_matrix)
+        dense = ell.toarray()
+        assert np.allclose(np.diag(dense), 1.0)
+        assert np.allclose(np.triu(dense, k=1), 0.0)
+
+    def test_u_upper_nonzero_diag(self, system_matrix):
+        _, u = crout_lu(system_matrix)
+        dense = u.toarray()
+        assert np.allclose(np.tril(dense, k=-1), 0.0)
+        assert np.all(np.abs(np.diag(dense)) > 0)
+
+    def test_matches_dense_lu(self):
+        rng = np.random.default_rng(0)
+        n = 12
+        dense = np.eye(n) + 0.05 * rng.random((n, n))
+        ell, u = crout_lu(sp.csc_matrix(dense))
+        assert np.allclose((ell @ u).toarray(), dense)
+
+    def test_zero_pivot_detected(self):
+        singular = sp.csc_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(DecompositionError):
+            crout_lu(singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SparseMatrixError):
+            crout_lu(sp.csr_matrix((2, 3)))
+
+    def test_negative_drop_tolerance_rejected(self, system_matrix):
+        with pytest.raises(SparseMatrixError):
+            crout_lu(system_matrix, drop_tolerance=-1.0)
+
+    def test_drop_tolerance_sparsifies(self, system_matrix):
+        exact_l, exact_u = crout_lu(system_matrix)
+        loose_l, loose_u = crout_lu(system_matrix, drop_tolerance=1e-3)
+        assert loose_l.nnz + loose_u.nnz <= exact_l.nnz + exact_u.nnz
+
+    def test_identity_matrix(self):
+        ell, u = crout_lu(sp.identity(5, format="csc"))
+        assert np.allclose(ell.toarray(), np.eye(5))
+        assert np.allclose(u.toarray(), np.eye(5))
+
+
+class TestSuperLUBackend:
+    def test_agrees_with_crout(self, system_matrix):
+        l1, u1 = crout_lu(system_matrix)
+        l2, u2 = superlu_lu(system_matrix)
+        assert np.allclose(l1.toarray(), l2.toarray())
+        assert np.allclose(u1.toarray(), u2.toarray())
+
+    def test_factors_reproduce_w(self, system_matrix):
+        ell, u = superlu_lu(system_matrix)
+        assert np.allclose((ell @ u).toarray(), system_matrix.toarray())
+
+    def test_singular_rejected(self):
+        singular = sp.csc_matrix((3, 3))
+        with pytest.raises(DecompositionError):
+            superlu_lu(singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SparseMatrixError):
+            superlu_lu(sp.csr_matrix((2, 3)))
+
+
+class TestTriangularInverses:
+    @pytest.mark.parametrize("backend", ["reach", "scipy"])
+    def test_inverse_product_is_w_inverse(self, system_matrix, backend):
+        ell, u = crout_lu(system_matrix)
+        l_inv, u_inv = triangular_inverses(ell, u, backend=backend)
+        w_inv = np.linalg.inv(system_matrix.toarray())
+        assert np.allclose(u_inv.to_dense() @ l_inv.to_dense(), w_inv, atol=1e-8)
+
+    def test_backends_agree(self, system_matrix):
+        ell, u = crout_lu(system_matrix)
+        l_reach, u_reach = triangular_inverses(ell, u, backend="reach")
+        l_scipy, u_scipy = triangular_inverses(ell, u, backend="scipy")
+        assert np.allclose(l_reach.to_dense(), l_scipy.to_dense())
+        assert np.allclose(u_reach.to_dense(), u_scipy.to_dense())
+
+    def test_formats(self, system_matrix):
+        from repro.sparse import CSCMatrix, CSRMatrix
+
+        ell, u = crout_lu(system_matrix)
+        l_inv, u_inv = triangular_inverses(ell, u)
+        assert isinstance(l_inv, CSCMatrix)
+        assert isinstance(u_inv, CSRMatrix)
+
+    def test_invalid_backend(self, system_matrix):
+        ell, u = crout_lu(system_matrix)
+        with pytest.raises(InvalidParameterError):
+            triangular_inverses(ell, u, backend="gpu")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            triangular_inverses(
+                sp.identity(3, format="csc"), sp.identity(4, format="csc")
+            )
+
+
+class TestSolve:
+    def test_lu_solve_matches_direct(self, system_matrix, rng):
+        ell, u = crout_lu(system_matrix)
+        b = rng.random(system_matrix.shape[0])
+        x = lu_solve_dense(ell, u, b)
+        assert np.allclose(system_matrix @ x, b)
+
+
+class TestFillIn:
+    def test_nnz_counts(self, system_matrix):
+        ell, u = crout_lu(system_matrix)
+        nnz_l, nnz_u = nnz_of_factors(ell, u)
+        assert nnz_l == (ell.toarray() != 0).sum()
+        assert nnz_u == (u.toarray() != 0).sum()
+
+    def test_report_ratios(self, system_matrix, er_graph):
+        ell, u = crout_lu(system_matrix)
+        l_inv, u_inv = triangular_inverses(ell, u)
+        report = fill_in_report(er_graph.n_edges, ell, u, l_inv, u_inv)
+        assert report.n_edges == er_graph.n_edges
+        assert report.nnz_inverses == l_inv.nnz + u_inv.nnz
+        assert report.inverse_ratio == pytest.approx(
+            (l_inv.nnz + u_inv.nnz) / er_graph.n_edges
+        )
+        assert report.factor_fill_ratio > 0
+
+    def test_zero_edges(self):
+        eye = sp.identity(3, format="csc")
+        ell, u = crout_lu(eye)
+        l_inv, u_inv = triangular_inverses(ell, u)
+        report = fill_in_report(0, ell, u, l_inv, u_inv)
+        assert report.inverse_ratio == 0.0
+        assert report.factor_fill_ratio == 0.0

@@ -1,0 +1,85 @@
+"""Unit tests for transition-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, InvalidParameterError
+from repro.graph import DiGraph, column_normalized_adjacency, rwr_system_matrix
+from repro.graph.matrices import restart_vector
+
+
+class TestColumnNormalization:
+    def test_columns_sum_to_one(self, er_graph):
+        a = column_normalized_adjacency(er_graph)
+        sums = np.asarray(a.sum(axis=0)).ravel()
+        out_deg = er_graph.out_degree_array()
+        for u in range(er_graph.n_nodes):
+            if out_deg[u] > 0:
+                assert sums[u] == pytest.approx(1.0)
+            else:
+                assert sums[u] == 0.0
+
+    def test_respects_weights(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 3.0)
+        a = column_normalized_adjacency(g).toarray()
+        assert a[1, 0] == pytest.approx(0.25)
+        assert a[2, 0] == pytest.approx(0.75)
+
+    def test_dangling_column_zero(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1)
+        a = column_normalized_adjacency(g).toarray()
+        assert np.all(a[:, 1] == 0.0)
+
+    def test_self_loop_normalised(self):
+        g = DiGraph(2)
+        g.add_edge(0, 0, 1.0)
+        g.add_edge(0, 1, 1.0)
+        a = column_normalized_adjacency(g).toarray()
+        assert a[0, 0] == pytest.approx(0.5)
+        assert a[1, 0] == pytest.approx(0.5)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            column_normalized_adjacency(DiGraph(0))
+
+
+class TestSystemMatrix:
+    def test_definition(self, er_graph):
+        a = column_normalized_adjacency(er_graph)
+        w = rwr_system_matrix(a, 0.9)
+        expected = np.eye(er_graph.n_nodes) - 0.1 * a.toarray()
+        assert np.allclose(w.toarray(), expected)
+
+    def test_column_diagonal_dominance(self, sf_graph):
+        # The property that justifies pivot-free LU (DESIGN.md).
+        a = column_normalized_adjacency(sf_graph)
+        c = 0.95
+        w = rwr_system_matrix(a, c).toarray()
+        for j in range(w.shape[0]):
+            off_diag = np.abs(w[:, j]).sum() - abs(w[j, j])
+            assert w[j, j] - off_diag >= c - 1e-12
+
+    def test_invalid_c(self, er_graph):
+        a = column_normalized_adjacency(er_graph)
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(InvalidParameterError):
+                rwr_system_matrix(a, bad)
+
+    def test_non_square_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphError):
+            rwr_system_matrix(sp.csr_matrix((2, 3)), 0.9)
+
+
+class TestRestartVector:
+    def test_one_hot(self):
+        v = restart_vector(4, 2)
+        assert v.tolist() == [0.0, 0.0, 1.0, 0.0]
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphError):
+            restart_vector(4, 4)

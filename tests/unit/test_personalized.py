@@ -1,0 +1,85 @@
+"""Unit tests for the multi-restart (Personalized PageRank) search."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro import KDash
+from repro.exceptions import InvalidParameterError, NodeNotFoundError
+from repro.graph import column_normalized_adjacency
+from repro.graph.matrices import rwr_system_matrix
+
+
+def exact_personalized(graph, restart, c):
+    """Reference: solve W p = c q for a normalised restart vector."""
+    a = column_normalized_adjacency(graph)
+    w = rwr_system_matrix(a, c)
+    q = np.zeros(graph.n_nodes)
+    total = sum(restart.values())
+    for node, weight in restart.items():
+        q[node] = c * weight / total
+    return spla.spsolve(w.tocsc(), q)
+
+
+@pytest.fixture
+def index(er_graph):
+    return KDash(er_graph, c=0.9).build()
+
+
+class TestExactness:
+    def test_single_seed_equals_top_k(self, index):
+        single = index.top_k(4, 5)
+        personalized = index.top_k_personalized({4: 1.0}, 5)
+        assert np.allclose(
+            sorted(single.proximities), sorted(personalized.proximities), atol=1e-12
+        )
+
+    def test_two_seeds_exact(self, index, er_graph):
+        restart = {3: 0.7, 11: 0.3}
+        exact = exact_personalized(er_graph, restart, 0.9)
+        result = index.top_k_personalized(restart, 6)
+        assert np.allclose(
+            sorted(result.proximities, reverse=True),
+            sorted(exact, reverse=True)[:6],
+            atol=1e-9,
+        )
+
+    def test_many_seeds_exact(self, index, er_graph, rng):
+        seeds = rng.choice(er_graph.n_nodes, size=6, replace=False)
+        restart = {int(s): float(rng.integers(1, 5)) for s in seeds}
+        exact = exact_personalized(er_graph, restart, 0.9)
+        result = index.top_k_personalized(restart, 8)
+        assert np.allclose(
+            sorted(result.proximities, reverse=True),
+            sorted(exact, reverse=True)[:8],
+            atol=1e-9,
+        )
+
+    def test_weights_normalised(self, index):
+        a = index.top_k_personalized({3: 1.0, 11: 1.0}, 5)
+        b = index.top_k_personalized({3: 10.0, 11: 10.0}, 5)
+        assert np.allclose(a.proximities, b.proximities, atol=1e-12)
+
+    def test_pruning_still_active(self, index):
+        result = index.top_k_personalized({3: 0.5, 11: 0.5}, 3)
+        assert result.n_computed < index.graph.n_nodes
+
+
+class TestValidation:
+    def test_empty_restart(self, index):
+        with pytest.raises(InvalidParameterError):
+            index.top_k_personalized({}, 5)
+
+    def test_bad_node(self, index):
+        with pytest.raises(NodeNotFoundError):
+            index.top_k_personalized({9999: 1.0}, 5)
+
+    def test_bad_weight(self, index):
+        with pytest.raises(InvalidParameterError):
+            index.top_k_personalized({0: 0.0}, 5)
+        with pytest.raises(InvalidParameterError):
+            index.top_k_personalized({0: -1.0}, 5)
+
+    def test_query_field_is_min_seed(self, index):
+        result = index.top_k_personalized({11: 0.5, 3: 0.5}, 4)
+        assert result.query == 3

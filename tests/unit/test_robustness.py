@@ -1,0 +1,144 @@
+"""Robustness and failure-injection tests across the stack.
+
+Extreme-but-legal inputs: complete graphs, pure self-loop graphs, weight
+magnitudes spanning 18 orders, single nodes, stars, long paths — each
+exercised through the full K-dash pipeline with exactness checked
+against the direct solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro import KDash, NBLin
+from repro.baselines import BasicPushAlgorithm
+from repro.eval.metrics import exactness_certificate
+from repro.graph import DiGraph, column_normalized_adjacency
+from repro.rwr import direct_solve_rwr
+
+
+def assert_exact(graph, query, k=3, c=0.9, **kwargs):
+    index = KDash(graph, c=c, **kwargs).build()
+    result = index.top_k(query, k)
+    exact = direct_solve_rwr(column_normalized_adjacency(graph), query, c)
+    assert exactness_certificate(result, exact), (result.items, exact)
+    return index, result
+
+
+class TestExtremeTopologies:
+    def test_single_node_no_edges(self):
+        g = DiGraph(1)
+        index = KDash(g, c=0.9).build()
+        result = index.top_k(0, 1)
+        assert result.items == ((0, pytest.approx(0.9)),)
+
+    def test_single_node_self_loop(self):
+        g = DiGraph(1)
+        g.add_edge(0, 0, 1.0)
+        index = KDash(g, c=0.9).build()
+        # p0 = c + (1-c) p0  =>  p0 = 1
+        assert index.top_k(0, 1).items[0][1] == pytest.approx(1.0)
+
+    def test_complete_graph(self):
+        n = 12
+        g = DiGraph(n)
+        for u in range(n):
+            for v in range(n):
+                if u != v:
+                    g.add_edge(u, v)
+        assert_exact(g, 5, k=4)
+
+    def test_pure_self_loop_graph(self):
+        g = DiGraph(4)
+        for u in range(4):
+            g.add_edge(u, u, 1.0)
+        index, result = assert_exact(g, 2, k=2)
+        assert result.items[0] == (2, pytest.approx(1.0))
+
+    def test_long_directed_path(self):
+        n = 40
+        g = DiGraph(n)
+        for u in range(n - 1):
+            g.add_edge(u, u + 1)
+        index, result = assert_exact(g, 0, k=5, c=0.5)
+        # proximities decay geometrically along the path
+        assert result.nodes[:3] == [0, 1, 2]
+
+    def test_directed_cycle(self):
+        n = 10
+        g = DiGraph(n)
+        for u in range(n):
+            g.add_edge(u, (u + 1) % n)
+        assert_exact(g, 0, k=5, c=0.3)
+
+    def test_two_isolated_cliques(self):
+        g = DiGraph(8)
+        for block in (range(4), range(4, 8)):
+            for u in block:
+                for v in block:
+                    if u != v:
+                        g.add_edge(u, v)
+        index, result = assert_exact(g, 1, k=6)
+        # the 2 answers beyond the 4-clique must be zero-proximity pads
+        assert result.padded
+        assert result.proximities[4] == 0.0
+
+
+class TestWeightExtremes:
+    def test_tiny_and_huge_weights(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1, 1e-9)
+        g.add_edge(0, 2, 1e9)
+        g.add_edge(1, 3, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.add_edge(3, 0, 1.0)
+        assert_exact(g, 0, k=4)
+
+    def test_normalisation_invariance(self):
+        # Scaling all out-weights of a node leaves proximities unchanged.
+        g1 = DiGraph(3)
+        g1.add_edge(0, 1, 1.0)
+        g1.add_edge(0, 2, 3.0)
+        g2 = DiGraph(3)
+        g2.add_edge(0, 1, 10.0)
+        g2.add_edge(0, 2, 30.0)
+        a1 = KDash(g1, c=0.9).build().proximity_column(0)
+        a2 = KDash(g2, c=0.9).build().proximity_column(0)
+        assert np.allclose(a1, a2, atol=1e-12)
+
+
+class TestBudgetsAndDeterminism:
+    def test_bpa_respects_push_budget(self, er_graph):
+        bpa = BasicPushAlgorithm(
+            er_graph, n_hubs=0, residual_tolerance=1e-15, max_pushes=7
+        ).build()
+        result = bpa.top_k(0, 5)
+        assert result.n_computed <= 7
+        assert result.terminated_early  # residual still above tolerance
+
+    def test_nb_lin_build_deterministic(self, er_graph):
+        a = NBLin(er_graph, target_rank=8).build()
+        b = NBLin(er_graph, target_rank=8).build()
+        assert np.allclose(a.proximity_vector(0), b.proximity_vector(0), atol=0)
+
+    def test_kdash_queries_deterministic(self, sf_graph):
+        index = KDash(sf_graph).build()
+        assert index.top_k(1, 7).items == index.top_k(1, 7).items
+
+    def test_proximity_consistent_with_column(self, er_graph):
+        index = KDash(er_graph).build()
+        column = index.proximity_column(9)
+        for node in (0, 9, 33, 59):
+            assert index.proximity(9, node) == pytest.approx(
+                column[node], abs=1e-12
+            )
+
+
+class TestConcurrentIndexes:
+    def test_independent_indexes_do_not_interfere(self, er_graph, sf_graph):
+        a = KDash(er_graph, c=0.9).build()
+        b = KDash(sf_graph, c=0.5).build()
+        ra1 = a.top_k(0, 3)
+        rb = b.top_k(0, 3)
+        ra2 = a.top_k(0, 3)
+        assert ra1.items == ra2.items
+        assert rb.query == 0

@@ -1,0 +1,117 @@
+"""Unit tests for the ground-truth RWR solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, InvalidParameterError
+from repro.graph import DiGraph, column_normalized_adjacency
+from repro.rwr import direct_solve_rwr, power_iteration_rwr, proximity_vector, top_k_from_vector
+
+
+@pytest.fixture
+def adjacency(er_graph):
+    return column_normalized_adjacency(er_graph)
+
+
+class TestPowerIteration:
+    def test_fixed_point(self, adjacency):
+        p = power_iteration_rwr(adjacency, 0, c=0.9)
+        residual = 0.1 * (adjacency @ p) + 0.9 * np.eye(adjacency.shape[0])[0] - p
+        assert np.abs(residual).max() < 1e-9
+
+    def test_agrees_with_direct(self, adjacency):
+        p_iter = power_iteration_rwr(adjacency, 3, c=0.95)
+        p_direct = direct_solve_rwr(adjacency, 3, c=0.95)
+        assert np.allclose(p_iter, p_direct, atol=1e-9)
+
+    def test_probability_mass(self, adjacency):
+        p = power_iteration_rwr(adjacency, 0, c=0.95)
+        assert np.all(p >= 0)
+        assert p.sum() <= 1.0 + 1e-9
+
+    def test_dangling_leaks_mass(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1)  # node 1 dangles
+        a = column_normalized_adjacency(g)
+        p = power_iteration_rwr(a, 0, c=0.5)
+        assert p.sum() < 1.0 - 1e-6
+
+    def test_query_has_restart_floor(self, adjacency):
+        c = 0.95
+        for q in (0, 5, 11):
+            p = power_iteration_rwr(adjacency, q, c=c)
+            assert p[q] >= c - 1e-12
+
+    def test_return_iterations(self, adjacency):
+        p, iters = power_iteration_rwr(adjacency, 0, return_iterations=True)
+        assert iters >= 1
+        assert p.shape == (adjacency.shape[0],)
+
+    def test_small_c_needs_more_iterations(self, adjacency):
+        _, fast = power_iteration_rwr(adjacency, 0, c=0.95, return_iterations=True)
+        _, slow = power_iteration_rwr(adjacency, 0, c=0.05, return_iterations=True)
+        assert slow > fast
+
+    def test_budget_exhaustion(self, adjacency):
+        with pytest.raises(ConvergenceError):
+            power_iteration_rwr(adjacency, 0, c=0.05, max_iterations=2)
+
+    def test_invalid_inputs(self, adjacency):
+        with pytest.raises(InvalidParameterError):
+            power_iteration_rwr(adjacency, 0, c=1.5)
+        with pytest.raises(InvalidParameterError):
+            power_iteration_rwr(adjacency, 0, tol=-1.0)
+        from repro.exceptions import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            power_iteration_rwr(adjacency, 10_000)
+
+
+class TestDirectSolve:
+    def test_solves_linear_system(self, adjacency):
+        c = 0.9
+        p = direct_solve_rwr(adjacency, 2, c=c)
+        n = adjacency.shape[0]
+        w = np.eye(n) - (1 - c) * adjacency.toarray()
+        rhs = np.zeros(n)
+        rhs[2] = c
+        assert np.allclose(w @ p, rhs)
+
+    def test_isolated_query(self):
+        g = DiGraph(3)
+        g.add_edge(1, 2)
+        a = column_normalized_adjacency(g)
+        p = direct_solve_rwr(a, 0, c=0.9)
+        assert p[0] == pytest.approx(0.9)
+        assert p[1] == 0.0
+
+
+class TestProximityVector:
+    def test_methods_agree(self, adjacency):
+        a = proximity_vector(adjacency, 1, method="direct")
+        b = proximity_vector(adjacency, 1, method="power")
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_unknown_method(self, adjacency):
+        with pytest.raises(InvalidParameterError):
+            proximity_vector(adjacency, 1, method="magic")
+
+
+class TestTopKFromVector:
+    def test_ordering(self):
+        p = np.array([0.1, 0.5, 0.3, 0.5])
+        top = top_k_from_vector(p, 3)
+        # descending proximity, ascending id on the 0.5 tie
+        assert top == [(1, 0.5), (3, 0.5), (2, 0.3)]
+
+    def test_k_larger_than_n(self):
+        p = np.array([0.2, 0.1])
+        assert len(top_k_from_vector(p, 10)) == 2
+
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError):
+            top_k_from_vector(np.ones(3), 0)
+
+    def test_all_ties_id_order(self):
+        p = np.zeros(4)
+        assert [u for u, _ in top_k_from_vector(p, 4)] == [0, 1, 2, 3]

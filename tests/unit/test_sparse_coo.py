@@ -1,0 +1,103 @@
+"""Unit tests for the COO builder format."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SparseMatrixError
+from repro.sparse import COOMatrix
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = COOMatrix.empty((3, 4))
+        assert m.shape == (3, 4)
+        assert m.nnz == 0
+        assert m.to_dense().shape == (3, 4)
+        assert not m.to_dense().any()
+
+    def test_basic_entries(self):
+        m = COOMatrix((2, 2), [0, 1], [1, 0], [2.0, 3.0])
+        dense = m.to_dense()
+        assert dense[0, 1] == 2.0
+        assert dense[1, 0] == 3.0
+        assert dense[0, 0] == 0.0
+
+    def test_identity(self):
+        m = COOMatrix.identity(4)
+        assert np.array_equal(m.to_dense(), np.eye(4))
+
+    def test_from_dense_round_trip(self, rng):
+        dense = rng.random((5, 7))
+        dense[dense < 0.5] = 0.0
+        m = COOMatrix.from_dense(dense)
+        assert np.array_equal(m.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(SparseMatrixError):
+            COOMatrix.from_dense(np.ones(3))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SparseMatrixError):
+            COOMatrix((2, 2), [0], [0, 1], [1.0, 2.0])
+
+    def test_row_out_of_bounds_rejected(self):
+        with pytest.raises(SparseMatrixError):
+            COOMatrix((2, 2), [2], [0], [1.0])
+
+    def test_col_out_of_bounds_rejected(self):
+        with pytest.raises(SparseMatrixError):
+            COOMatrix((2, 2), [0], [-1], [1.0])
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(SparseMatrixError):
+            COOMatrix((-1, 2), [], [], [])
+
+
+class TestDuplicates:
+    def test_duplicates_summed_in_csr(self):
+        m = COOMatrix((2, 2), [0, 0, 0], [1, 1, 0], [1.0, 2.0, 5.0])
+        csr = m.to_csr()
+        assert csr.get(0, 1) == 3.0
+        assert csr.get(0, 0) == 5.0
+        assert csr.nnz == 2
+
+    def test_duplicates_summed_in_csc(self):
+        m = COOMatrix((3, 3), [2, 2], [1, 1], [1.5, 2.5])
+        csc = m.to_csc()
+        assert csc.get(2, 1) == 4.0
+        assert csc.nnz == 1
+
+    def test_duplicates_summed_in_dense(self):
+        m = COOMatrix((2, 2), [1, 1], [1, 1], [1.0, 1.0])
+        assert m.to_dense()[1, 1] == 2.0
+
+
+class TestConversions:
+    def test_csr_matches_scipy(self, rng):
+        dense = rng.random((6, 4))
+        dense[dense < 0.6] = 0.0
+        ours = COOMatrix.from_dense(dense).to_csr()
+        theirs = ours.to_scipy().toarray()
+        assert np.allclose(theirs, dense)
+
+    def test_csc_round_trip(self, rng):
+        dense = rng.random((4, 6))
+        dense[dense < 0.6] = 0.0
+        csc = COOMatrix.from_dense(dense).to_csc()
+        assert np.allclose(csc.to_dense(), dense)
+
+    def test_transpose(self, rng):
+        dense = rng.random((3, 5))
+        m = COOMatrix.from_dense(dense)
+        assert np.allclose(m.transpose().to_dense(), dense.T)
+
+    def test_to_scipy_shape(self):
+        m = COOMatrix((3, 2), [0], [1], [1.0])
+        s = m.to_scipy()
+        assert s.shape == (3, 2)
+        assert s.nnz == 1
+
+    def test_empty_to_csr(self):
+        csr = COOMatrix.empty((3, 3)).to_csr()
+        assert csr.nnz == 0
+        assert csr.indptr.tolist() == [0, 0, 0, 0]

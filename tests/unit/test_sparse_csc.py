@@ -1,0 +1,95 @@
+"""Unit tests for the CSC matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SparseMatrixError
+from repro.sparse import CSCMatrix
+
+
+def _random_csc(rng, shape=(7, 5), density=0.4):
+    dense = rng.random(shape)
+    dense[dense > density] = 0.0
+    return CSCMatrix.from_dense(dense), dense
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(SparseMatrixError):
+            CSCMatrix((2, 3), [0, 0], [], [])
+
+    def test_row_bounds(self):
+        with pytest.raises(SparseMatrixError):
+            CSCMatrix((2, 2), [0, 1, 1], [3], [1.0])
+
+    def test_indptr_monotone(self):
+        with pytest.raises(SparseMatrixError):
+            CSCMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 1.0])
+
+
+class TestAccess:
+    def test_column_slices(self, rng):
+        m, dense = _random_csc(rng)
+        for j in range(dense.shape[1]):
+            idx, vals = m.column(j)
+            reconstructed = np.zeros(dense.shape[0])
+            reconstructed[idx] = vals
+            assert np.allclose(reconstructed, dense[:, j])
+
+    def test_column_out_of_range(self, rng):
+        m, _ = _random_csc(rng)
+        with pytest.raises(SparseMatrixError):
+            m.column(-1)
+
+    def test_get(self, rng):
+        m, dense = _random_csc(rng)
+        for i in range(dense.shape[0]):
+            for j in range(dense.shape[1]):
+                assert m.get(i, j) == pytest.approx(dense[i, j])
+
+    def test_column_max(self, rng):
+        m, dense = _random_csc(rng)
+        for j in range(dense.shape[1]):
+            expected = dense[:, j].max() if dense[:, j].any() else 0.0
+            assert m.column_max(j) == pytest.approx(expected)
+
+    def test_column_max_empty_column(self):
+        m = CSCMatrix((3, 2), [0, 0, 0], [], [])
+        assert m.column_max(0) == 0.0
+        assert m.column_max(1) == 0.0
+
+
+class TestLinearAlgebra:
+    def test_matvec_matches_dense(self, rng):
+        m, dense = _random_csc(rng)
+        x = rng.random(dense.shape[1])
+        assert np.allclose(m.matvec(x), dense @ x)
+
+    def test_rmatvec_matches_dense(self, rng):
+        m, dense = _random_csc(rng)
+        x = rng.random(dense.shape[0])
+        assert np.allclose(m.rmatvec(x), dense.T @ x)
+
+    def test_matvec_shape_check(self, rng):
+        m, _ = _random_csc(rng)
+        with pytest.raises(SparseMatrixError):
+            m.matvec(np.ones(17))
+
+
+class TestConversions:
+    def test_transpose(self, rng):
+        m, dense = _random_csc(rng)
+        assert np.allclose(m.transpose().to_dense(), dense.T)
+
+    def test_to_csr_round_trip(self, rng):
+        m, dense = _random_csc(rng)
+        assert np.allclose(m.to_csr().to_dense(), dense)
+
+    def test_scipy_round_trip(self, rng):
+        m, dense = _random_csc(rng)
+        back = CSCMatrix.from_scipy(m.to_scipy())
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_identity(self):
+        m = CSCMatrix.identity(4)
+        assert np.array_equal(m.to_dense(), np.eye(4))

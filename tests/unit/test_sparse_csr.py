@@ -1,0 +1,120 @@
+"""Unit tests for the CSR matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SparseMatrixError
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def _random_csr(rng, shape=(6, 8), density=0.4):
+    dense = rng.random(shape)
+    dense[dense > density] = 0.0
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestValidation:
+    def test_bad_indptr_length(self):
+        with pytest.raises(SparseMatrixError):
+            CSRMatrix((2, 2), [0, 0], [], [])
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(SparseMatrixError):
+            CSRMatrix((2, 2), [1, 1, 1], [0], [1.0])
+
+    def test_indptr_must_end_at_nnz(self):
+        with pytest.raises(SparseMatrixError):
+            CSRMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+
+    def test_indptr_monotone(self):
+        with pytest.raises(SparseMatrixError):
+            CSRMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_column_bounds(self):
+        with pytest.raises(SparseMatrixError):
+            CSRMatrix((2, 2), [0, 1, 1], [5], [1.0])
+
+    def test_data_length_mismatch(self):
+        with pytest.raises(SparseMatrixError):
+            CSRMatrix((2, 2), [0, 1, 1], [0], [1.0, 2.0])
+
+
+class TestAccess:
+    def test_row_slices(self, rng):
+        m, dense = _random_csr(rng)
+        for i in range(dense.shape[0]):
+            idx, vals = m.row(i)
+            reconstructed = np.zeros(dense.shape[1])
+            reconstructed[idx] = vals
+            assert np.allclose(reconstructed, dense[i])
+
+    def test_row_out_of_range(self, rng):
+        m, _ = _random_csr(rng)
+        with pytest.raises(SparseMatrixError):
+            m.row(99)
+
+    def test_get(self, rng):
+        m, dense = _random_csr(rng)
+        for i in range(dense.shape[0]):
+            for j in range(dense.shape[1]):
+                assert m.get(i, j) == pytest.approx(dense[i, j])
+
+    def test_row_dot(self, rng):
+        m, dense = _random_csr(rng)
+        x = rng.random(dense.shape[1])
+        for i in range(dense.shape[0]):
+            assert m.row_dot(i, x) == pytest.approx(dense[i] @ x)
+
+    def test_row_dot_empty_row(self):
+        m = CSRMatrix((2, 3), [0, 0, 0], [], [])
+        assert m.row_dot(0, np.ones(3)) == 0.0
+
+
+class TestLinearAlgebra:
+    def test_matvec_matches_dense(self, rng):
+        m, dense = _random_csr(rng)
+        x = rng.random(dense.shape[1])
+        assert np.allclose(m.matvec(x), dense @ x)
+
+    def test_rmatvec_matches_dense(self, rng):
+        m, dense = _random_csr(rng)
+        x = rng.random(dense.shape[0])
+        assert np.allclose(m.rmatvec(x), dense.T @ x)
+
+    def test_matvec_shape_check(self, rng):
+        m, _ = _random_csr(rng)
+        with pytest.raises(SparseMatrixError):
+            m.matvec(np.ones(3))
+
+    def test_rmatvec_shape_check(self, rng):
+        m, _ = _random_csr(rng)
+        with pytest.raises(SparseMatrixError):
+            m.rmatvec(np.ones(3))
+
+
+class TestConversions:
+    def test_transpose(self, rng):
+        m, dense = _random_csr(rng)
+        assert np.allclose(m.transpose().to_dense(), dense.T)
+
+    def test_to_csc_round_trip(self, rng):
+        m, dense = _random_csr(rng)
+        assert np.allclose(m.to_csc().to_dense(), dense)
+
+    def test_scipy_round_trip(self, rng):
+        m, dense = _random_csr(rng)
+        back = CSRMatrix.from_scipy(m.to_scipy())
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_from_scipy_accepts_csc(self, rng):
+        import scipy.sparse as sp
+
+        dense = rng.random((4, 4))
+        dense[dense < 0.5] = 0.0
+        m = CSRMatrix.from_scipy(sp.csc_matrix(dense))
+        assert np.allclose(m.to_dense(), dense)
+
+    def test_identity(self):
+        m = CSRMatrix.identity(5)
+        assert np.array_equal(m.to_dense(), np.eye(5))
+        assert m.nnz == 5

@@ -1,0 +1,95 @@
+"""Unit tests for the free-function sparse linear algebra helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SparseMatrixError
+from repro.sparse import (
+    CSCMatrix,
+    CSRMatrix,
+    sparse_column_max,
+    sparse_matmat,
+    sparse_matvec,
+    sparse_row_dot,
+)
+
+
+class TestMatvec:
+    def test_dispatch_csr(self, rng):
+        dense = rng.random((4, 5))
+        m = CSRMatrix.from_dense(dense)
+        x = rng.random(5)
+        assert np.allclose(sparse_matvec(m, x), dense @ x)
+
+    def test_dispatch_csc(self, rng):
+        dense = rng.random((4, 5))
+        m = CSCMatrix.from_dense(dense)
+        x = rng.random(5)
+        assert np.allclose(sparse_matvec(m, x), dense @ x)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(SparseMatrixError):
+            sparse_matvec(np.eye(3), np.ones(3))
+
+
+class TestMatmat:
+    def test_matches_dense(self, rng):
+        a = rng.random((4, 6))
+        a[a < 0.5] = 0.0
+        b = rng.random((6, 3))
+        b[b < 0.5] = 0.0
+        result = sparse_matmat(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b))
+        assert np.allclose(result.to_dense(), a @ b)
+
+    def test_mixed_formats(self, rng):
+        a = rng.random((3, 3))
+        b = rng.random((3, 3))
+        result = sparse_matmat(CSCMatrix.from_dense(a), CSCMatrix.from_dense(b))
+        assert np.allclose(result.to_dense(), a @ b)
+
+    def test_shape_mismatch(self, rng):
+        a = CSRMatrix.from_dense(rng.random((3, 4)))
+        b = CSRMatrix.from_dense(rng.random((3, 4)))
+        with pytest.raises(SparseMatrixError):
+            sparse_matmat(a, b)
+
+    def test_identity_neutral(self, rng):
+        dense = rng.random((5, 5))
+        dense[dense < 0.5] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        eye = CSRMatrix.identity(5)
+        assert np.allclose(sparse_matmat(m, eye).to_dense(), dense)
+        assert np.allclose(sparse_matmat(eye, m).to_dense(), dense)
+
+
+class TestColumnMax:
+    def test_matches_dense(self, rng):
+        dense = rng.random((6, 4))
+        dense[dense < 0.4] = 0.0
+        maxima = sparse_column_max(CSCMatrix.from_dense(dense))
+        expected = dense.max(axis=0)
+        assert np.allclose(maxima, expected)
+
+    def test_empty_columns_zero(self):
+        m = CSCMatrix((4, 3), [0, 0, 0, 0], [], [])
+        assert np.array_equal(sparse_column_max(m), np.zeros(3))
+
+    def test_requires_csc(self, rng):
+        m = CSRMatrix.from_dense(rng.random((3, 3)))
+        with pytest.raises(SparseMatrixError):
+            sparse_column_max(m)
+
+
+class TestRowDot:
+    def test_matches_dense(self, rng):
+        dense = rng.random((5, 7))
+        dense[dense < 0.5] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        x = rng.random(7)
+        for i in range(5):
+            assert sparse_row_dot(m, i, x) == pytest.approx(dense[i] @ x)
+
+    def test_requires_csr(self, rng):
+        m = CSCMatrix.from_dense(rng.random((3, 3)))
+        with pytest.raises(SparseMatrixError):
+            sparse_row_dot(m, 0, np.ones(3))

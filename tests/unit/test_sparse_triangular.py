@@ -1,0 +1,157 @@
+"""Unit tests for triangular solves and sparse triangular inversion."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecompositionError, SparseMatrixError
+from repro.sparse import (
+    CSCMatrix,
+    lower_triangular_solve,
+    sparse_lower_inverse,
+    sparse_unit_lower_solve_sparse_rhs,
+    sparse_upper_inverse,
+    upper_triangular_solve,
+)
+
+
+def _random_lower(rng, n=8, density=0.4, unit=False):
+    dense = np.tril(rng.random((n, n)), k=-1)
+    dense[dense > density] = 0.0
+    np.fill_diagonal(dense, 1.0 if unit else 0.5 + rng.random(n))
+    return dense
+
+
+def _random_upper(rng, n=8, density=0.4):
+    return _random_lower(rng, n, density).T
+
+
+class TestLowerSolve:
+    def test_matches_numpy(self, rng):
+        dense = _random_lower(rng)
+        b = rng.random(8)
+        x = lower_triangular_solve(CSCMatrix.from_dense(dense), b)
+        assert np.allclose(dense @ x, b)
+
+    def test_unit_diagonal_mode(self, rng):
+        dense = _random_lower(rng, unit=True)
+        b = rng.random(8)
+        x = lower_triangular_solve(
+            CSCMatrix.from_dense(dense), b, unit_diagonal=True
+        )
+        assert np.allclose(dense @ x, b)
+
+    def test_rejects_non_lower(self, rng):
+        dense = np.eye(4)
+        dense[0, 2] = 1.0
+        with pytest.raises(SparseMatrixError):
+            lower_triangular_solve(CSCMatrix.from_dense(dense), np.ones(4))
+
+    def test_rejects_zero_diagonal(self):
+        dense = np.tril(np.ones((3, 3)))
+        dense[1, 1] = 0.0
+        with pytest.raises(DecompositionError):
+            lower_triangular_solve(CSCMatrix.from_dense(dense), np.ones(3))
+
+    def test_rejects_non_square(self):
+        m = CSCMatrix((2, 3), [0, 0, 0, 0], [], [])
+        with pytest.raises(SparseMatrixError):
+            lower_triangular_solve(m, np.ones(2))
+
+    def test_rejects_bad_rhs_shape(self, rng):
+        dense = _random_lower(rng)
+        with pytest.raises(SparseMatrixError):
+            lower_triangular_solve(CSCMatrix.from_dense(dense), np.ones(3))
+
+
+class TestUpperSolve:
+    def test_matches_numpy(self, rng):
+        dense = _random_upper(rng)
+        b = rng.random(8)
+        x = upper_triangular_solve(CSCMatrix.from_dense(dense), b)
+        assert np.allclose(dense @ x, b)
+
+    def test_rejects_non_upper(self):
+        dense = np.eye(4)
+        dense[3, 1] = 1.0
+        with pytest.raises(SparseMatrixError):
+            upper_triangular_solve(CSCMatrix.from_dense(dense), np.ones(4))
+
+    def test_rejects_zero_diagonal(self):
+        dense = np.triu(np.ones((3, 3)))
+        dense[2, 2] = 0.0
+        with pytest.raises(DecompositionError):
+            upper_triangular_solve(CSCMatrix.from_dense(dense), np.ones(3))
+
+
+class TestSparseRHSSolve:
+    def test_matches_dense_solve(self, rng):
+        dense = _random_lower(rng, unit=True)
+        rhs = np.zeros(8)
+        rhs[2] = 1.0
+        rhs[5] = -0.5
+        rows, vals = sparse_unit_lower_solve_sparse_rhs(
+            CSCMatrix.from_dense(dense), np.array([2, 5]), np.array([1.0, -0.5])
+        )
+        x_full = np.zeros(8)
+        x_full[rows] = vals
+        assert np.allclose(dense @ x_full, rhs)
+
+    def test_rows_sorted_and_nonzero(self, rng):
+        dense = _random_lower(rng, unit=True)
+        rows, vals = sparse_unit_lower_solve_sparse_rhs(
+            CSCMatrix.from_dense(dense), np.array([0]), np.array([1.0])
+        )
+        assert np.all(np.diff(rows) > 0)
+        assert np.all(vals != 0.0)
+
+
+class TestLowerInverse:
+    def test_inverse_correct_unit(self, rng):
+        dense = _random_lower(rng, unit=True)
+        inv = sparse_lower_inverse(CSCMatrix.from_dense(dense), unit_diagonal=True)
+        assert np.allclose(inv.to_dense() @ dense, np.eye(8))
+
+    def test_inverse_correct_general(self, rng):
+        dense = _random_lower(rng, unit=False)
+        inv = sparse_lower_inverse(CSCMatrix.from_dense(dense), unit_diagonal=False)
+        assert np.allclose(inv.to_dense() @ dense, np.eye(8))
+
+    def test_inverse_is_lower_triangular(self, rng):
+        dense = _random_lower(rng, unit=True)
+        inv = sparse_lower_inverse(CSCMatrix.from_dense(dense)).to_dense()
+        assert np.allclose(np.triu(inv, k=1), 0.0)
+
+    def test_support_is_reachability_closure(self):
+        # Chain 0 <- 1 <- 2: inverse fills the full lower triangle of the
+        # chain's reachability (2 reaches 1 reaches 0).
+        dense = np.eye(3)
+        dense[1, 0] = -0.5
+        dense[2, 1] = -0.5
+        inv = sparse_lower_inverse(CSCMatrix.from_dense(dense)).to_dense()
+        assert inv[2, 0] != 0.0  # transitive fill
+
+    def test_diagonal_matrix(self):
+        dense = np.diag([2.0, 4.0, 8.0])
+        inv = sparse_lower_inverse(
+            CSCMatrix.from_dense(dense), unit_diagonal=False
+        )
+        assert np.allclose(inv.to_dense(), np.diag([0.5, 0.25, 0.125]))
+        assert inv.nnz == 3  # stays diagonal: no spurious fill
+
+    def test_missing_diagonal_rejected(self):
+        dense = np.zeros((2, 2))
+        dense[1, 0] = 1.0
+        with pytest.raises(DecompositionError):
+            sparse_lower_inverse(CSCMatrix.from_dense(dense), unit_diagonal=False)
+
+
+class TestUpperInverse:
+    def test_inverse_correct(self, rng):
+        dense = _random_upper(rng)
+        inv = sparse_upper_inverse(CSCMatrix.from_dense(dense))
+        assert np.allclose(inv.to_dense() @ dense, np.eye(8))
+
+    def test_inverse_is_upper_triangular(self, rng):
+        dense = _random_upper(rng)
+        inv = sparse_upper_inverse(CSCMatrix.from_dense(dense)).to_dense()
+        assert np.allclose(np.tril(inv, k=-1), 0.0)

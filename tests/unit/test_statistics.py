@@ -1,0 +1,63 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, degree_histogram, graph_statistics, star_graph
+from repro.graph.statistics import gini_coefficient
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini_coefficient(np.full(10, 3.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_near_one(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_known_value(self):
+        # For [0, 1]: G = 0.5
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+
+class TestHistogram:
+    def test_star(self):
+        values, counts = degree_histogram(star_graph(5))
+        # hub has degree 10 (5 in + 5 out), leaves degree 2
+        assert values.tolist() == [2, 10]
+        assert counts.tolist() == [5, 1]
+
+    def test_empty_graph(self):
+        values, counts = degree_histogram(DiGraph(0))
+        assert values.size == 0 and counts.size == 0
+
+
+class TestGraphStatistics:
+    def test_star_statistics(self):
+        stats = graph_statistics(star_graph(4))
+        assert stats.n_nodes == 5
+        assert stats.n_edges == 8
+        assert stats.max_in_degree == 4
+        assert stats.max_out_degree == 4
+        assert stats.dangling_nodes == 0
+        assert stats.n_components == 1
+        assert stats.largest_component_fraction == 1.0
+        assert stats.reciprocity == 1.0
+
+    def test_dangling_and_components(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1)  # 1 is dangling; {2}, {3} isolated
+        stats = graph_statistics(g)
+        assert stats.dangling_nodes == 3
+        assert stats.n_components == 3
+        assert stats.largest_component_fraction == 0.5
+        assert stats.reciprocity == 0.0
+
+    def test_as_dict_keys(self):
+        d = graph_statistics(star_graph(2)).as_dict()
+        assert set(d) >= {"n_nodes", "n_edges", "degree_gini", "reciprocity"}

@@ -1,0 +1,65 @@
+"""Unit tests for threshold queries (KDash.above_threshold)."""
+
+import numpy as np
+import pytest
+
+from repro import KDash
+from repro.exceptions import InvalidParameterError
+from repro.graph import column_normalized_adjacency
+from repro.rwr import direct_solve_rwr
+
+
+@pytest.fixture
+def index(er_graph):
+    return KDash(er_graph, c=0.9).build()
+
+
+class TestAboveThreshold:
+    @pytest.mark.parametrize("threshold", [1e-6, 1e-4, 1e-2, 0.5])
+    def test_matches_brute_force(self, index, er_graph, threshold):
+        exact = direct_solve_rwr(column_normalized_adjacency(er_graph), 3, 0.9)
+        expected = {
+            u: exact[u] for u in range(er_graph.n_nodes) if exact[u] >= threshold
+        }
+        result = index.above_threshold(3, threshold)
+        assert result.node_set() == set(expected)
+        for node, p in result.items:
+            assert p == pytest.approx(expected[node], abs=1e-10)
+
+    def test_sorted_descending(self, index):
+        result = index.above_threshold(3, 1e-5)
+        values = result.proximities
+        assert values == sorted(values, reverse=True)
+
+    def test_high_threshold_only_query(self, index):
+        result = index.above_threshold(3, 0.89)
+        assert result.nodes == [3]
+        assert result.n_computed < index.graph.n_nodes  # pruned early
+
+    def test_threshold_above_one_empty(self, index):
+        # proximities never exceed 1, so nothing qualifies
+        result = index.above_threshold(3, 1.5)
+        assert len(result.items) == 0
+
+    def test_pruning_counters(self, index):
+        result = index.above_threshold(3, 0.01)
+        assert result.n_visited + result.n_pruned == index.graph.n_nodes
+
+    def test_k_equals_answer_size(self, index):
+        result = index.above_threshold(3, 1e-4)
+        assert result.k == len(result.items)
+        assert not result.padded
+
+    def test_invalid_threshold(self, index):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidParameterError):
+                index.above_threshold(3, bad)
+
+    def test_dangling_query(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph(3)
+        g.add_edge(1, 0)
+        idx = KDash(g, c=0.9).build()
+        result = idx.above_threshold(0, 0.5)
+        assert result.items == ((0, pytest.approx(0.9)),)

@@ -1,0 +1,56 @@
+"""Unit tests for TopKResult and canonical ranking."""
+
+import pytest
+
+from repro.core import TopKResult
+from repro.core.topk import rank_items
+from repro.graph import DiGraph
+
+
+class TestRankItems:
+    def test_descending_with_id_ties(self):
+        pairs = [(3, 0.2), (1, 0.5), (2, 0.5), (0, 0.1)]
+        assert rank_items(pairs, 3) == ((1, 0.5), (2, 0.5), (3, 0.2))
+
+    def test_truncation(self):
+        pairs = [(0, 1.0), (1, 0.9)]
+        assert len(rank_items(pairs, 1)) == 1
+
+    def test_empty(self):
+        assert rank_items([], 5) == ()
+
+
+class TestTopKResult:
+    def _result(self):
+        return TopKResult(
+            query=0,
+            k=3,
+            items=((0, 0.9), (4, 0.05), (2, 0.01)),
+            n_visited=10,
+            n_computed=6,
+            n_pruned=4,
+            terminated_early=True,
+        )
+
+    def test_accessors(self):
+        r = self._result()
+        assert r.nodes == [0, 4, 2]
+        assert r.proximities == [0.9, 0.05, 0.01]
+        assert r.kth_proximity == 0.01
+        assert r.node_set() == {0, 4, 2}
+        assert len(r) == 3
+
+    def test_empty_result(self):
+        r = TopKResult(query=0, k=3, items=())
+        assert r.kth_proximity == 0.0
+        assert r.nodes == []
+
+    def test_with_labels(self):
+        g = DiGraph(5, labels=list("abcde"))
+        r = self._result()
+        assert r.with_labels(g) == [("a", 0.9), ("e", 0.05), ("c", 0.01)]
+
+    def test_frozen(self):
+        r = self._result()
+        with pytest.raises(AttributeError):
+            r.k = 5

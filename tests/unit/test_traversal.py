@@ -1,0 +1,94 @@
+"""Unit tests for BFS layering and component traversal."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, bfs_layers, bfs_order, connected_components, reachable_set
+from repro.graph.traversal import UNREACHED
+
+
+class TestBFSLayers:
+    def test_tiny_graph_layers(self, tiny_graph):
+        layers = bfs_layers(tiny_graph, 0)
+        assert layers[0] == 0
+        assert layers[1] == 1 and layers[2] == 1
+        assert layers[3] == 2 and layers[4] == 2
+        assert layers[5] == 3 and layers[6] == 3
+
+    def test_unreachable_marked(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)  # separate component
+        layers = bfs_layers(g, 0)
+        assert layers[2] == UNREACHED
+        assert layers[3] == UNREACHED
+
+    def test_follows_edge_direction(self):
+        g = DiGraph(3)
+        g.add_edge(1, 0)  # edge INTO the root: not traversable
+        g.add_edge(0, 2)
+        layers = bfs_layers(g, 0)
+        assert layers[1] == UNREACHED
+        assert layers[2] == 1
+
+    def test_invalid_root(self, tiny_graph):
+        from repro.exceptions import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            bfs_layers(tiny_graph, 99)
+
+
+class TestBFSOrder:
+    def test_order_is_sorted_by_layer(self, er_graph):
+        order, layers = bfs_order(er_graph, 0)
+        visited_layers = layers[order]
+        assert np.all(np.diff(visited_layers) >= 0)
+
+    def test_order_covers_reachable_exactly(self, er_graph):
+        order, layers = bfs_order(er_graph, 0)
+        assert set(order.tolist()) == set(np.flatnonzero(layers != UNREACHED).tolist())
+
+    def test_root_first(self, tiny_graph):
+        order, _ = bfs_order(tiny_graph, 2)
+        assert order[0] == 2
+
+    def test_fifo_discovery_order(self):
+        # 0 -> 1, 0 -> 2 added in that order: 1 discovered before 2.
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        order, _ = bfs_order(g, 0)
+        assert order.tolist() == [0, 1, 2]
+
+
+class TestReachableSet:
+    def test_reachable(self):
+        g = DiGraph(5)
+        g.add_edges([(0, 1), (1, 2), (3, 4)])
+        assert reachable_set(g, 0).tolist() == [0, 1, 2]
+        assert reachable_set(g, 3).tolist() == [3, 4]
+
+    def test_isolated_node(self):
+        g = DiGraph(3)
+        assert reachable_set(g, 1).tolist() == [1]
+
+
+class TestConnectedComponents:
+    def test_components_partition_nodes(self, er_graph):
+        comps = connected_components(er_graph)
+        all_nodes = np.concatenate(comps)
+        assert sorted(all_nodes.tolist()) == list(range(er_graph.n_nodes))
+
+    def test_weak_connectivity(self):
+        # Directed chain is weakly connected even though not strongly.
+        g = DiGraph(3)
+        g.add_edges([(0, 1), (2, 1)])
+        comps = connected_components(g)
+        assert len(comps) == 1
+
+    def test_largest_first(self):
+        g = DiGraph(5)
+        g.add_edges([(0, 1), (1, 2)])
+        comps = connected_components(g)
+        assert len(comps[0]) == 3
+        assert len(comps) == 3

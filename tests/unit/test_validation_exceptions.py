@@ -1,0 +1,120 @@
+"""Unit tests for the validation helpers and exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions as exc
+from repro import validation as val
+
+
+class TestRestartProbability:
+    @pytest.mark.parametrize("good", [0.01, 0.5, 0.95, 0.999])
+    def test_accepts(self, good):
+        assert val.check_restart_probability(good) == good
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects(self, bad):
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_restart_probability(bad)
+
+
+class TestK:
+    def test_accepts_int_and_numpy(self):
+        assert val.check_k(5) == 5
+        assert val.check_k(np.int64(7)) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_rejects(self, bad):
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_k(bad)
+
+
+class TestNodeId:
+    def test_in_range(self):
+        assert val.check_node_id(3, 10) == 3
+
+    def test_out_of_range_is_both_graph_and_key_error(self):
+        with pytest.raises(exc.NodeNotFoundError) as info:
+            val.check_node_id(10, 10)
+        assert isinstance(info.value, KeyError)
+        assert isinstance(info.value, exc.GraphError)
+
+    def test_float_rejected(self):
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_node_id(1.0, 10)
+
+
+class TestIntHelpers:
+    def test_positive(self):
+        assert val.check_positive_int(3, "x") == 3
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_positive_int(0, "x")
+
+    def test_non_negative(self):
+        assert val.check_non_negative_int(0, "x") == 0
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_non_negative_int(-1, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_positive_int(True, "x")
+
+
+class TestProbabilityAndTolerance:
+    def test_probability(self):
+        assert val.check_probability(0.0, "p") == 0.0
+        assert val.check_probability(1.0, "p") == 1.0
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_probability(1.0001, "p")
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_probability(float("nan"), "p")
+
+    def test_tolerance(self):
+        assert val.check_tolerance(1e-9) == 1e-9
+        for bad in (0.0, -1e-9, float("inf")):
+            with pytest.raises(exc.InvalidParameterError):
+                val.check_tolerance(bad)
+
+
+class TestChoiceAndSeed:
+    def test_choice(self):
+        assert val.check_choice("a", ("a", "b"), "opt") == "a"
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_choice("c", ("a", "b"), "opt")
+
+    def test_seed_forms(self):
+        gen = np.random.default_rng(5)
+        assert val.check_random_state(gen) is gen
+        assert isinstance(val.check_random_state(None), np.random.Generator)
+        a = val.check_random_state(7).random()
+        b = val.check_random_state(7).random()
+        assert a == b
+
+    def test_seed_rejects_junk(self):
+        with pytest.raises(exc.InvalidParameterError):
+            val.check_random_state("seed")
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for klass in (
+            exc.InvalidParameterError,
+            exc.GraphError,
+            exc.NodeNotFoundError,
+            exc.SparseMatrixError,
+            exc.DecompositionError,
+            exc.ConvergenceError,
+            exc.IndexNotBuiltError,
+            exc.SerializationError,
+        ):
+            assert issubclass(klass, exc.ReproError)
+
+    def test_value_error_compat(self):
+        # callers using stdlib idioms still catch our input errors
+        assert issubclass(exc.InvalidParameterError, ValueError)
+        assert issubclass(exc.GraphError, ValueError)
+
+    def test_convergence_error_fields(self):
+        e = exc.ConvergenceError("solver", 10, 0.5, 1e-9)
+        assert e.iterations == 10
+        assert "solver" in str(e)
