@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import KDash
+from repro import KDash, QueryEngine
 from repro.graph import DiGraph
 
 
@@ -108,6 +108,22 @@ def main() -> None:
     baseline_hits = sum(1 for i in popular if i + item0 in relevant_items)
     print(f"popularity-baseline hit rate: {baseline_hits}/10")
     print("\nRWR personalises: its hit rate should beat raw popularity.")
+
+    # Serving a traffic burst: many users hit the recommender at once,
+    # and popular users repeat.  QueryEngine batches the whole burst
+    # over one shared workspace, dedupes repeats and caches results.
+    rng = np.random.default_rng(17)
+    burst = rng.choice(40, size=200).tolist()  # 200 requests, 40 users
+    engine = QueryEngine(index)
+    results = engine.top_k_many(burst, k=20)
+    stats = engine.last_stats
+    print(
+        f"\nserved a burst of {stats.n_queries} requests in "
+        f"{stats.seconds * 1000:.1f}ms "
+        f"({stats.queries_per_second:,.0f} queries/s; "
+        f"{stats.executed} scans executed, {stats.dedup_hits} deduped)"
+    )
+    assert results[0].items == index.top_k(burst[0], k=20).items
 
 
 if __name__ == "__main__":

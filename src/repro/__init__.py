@@ -38,6 +38,7 @@ from .exceptions import (
     SparseMatrixError,
 )
 from .graph import DiGraph
+from .query import QueryEngine, QueryStats
 from .rwr import direct_solve_rwr, power_iteration_rwr, top_k_from_vector
 
 __version__ = "1.0.0"
@@ -45,6 +46,8 @@ __version__ = "1.0.0"
 __all__ = [
     "KDash",
     "DynamicKDash",
+    "QueryEngine",
+    "QueryStats",
     "TopKResult",
     "save_index",
     "load_index",

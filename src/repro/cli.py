@@ -9,7 +9,10 @@ Commands
     Build a K-dash index for a dataset (or an edge-list file) and save
     it to disk.
 ``query``
-    Load a saved index and run a top-k query.
+    Load a saved index and run a top-k query — one node (``--node``) or
+    a batched request (``--batch 3,7,3,12``) served through the
+    :class:`~repro.query.engine.QueryEngine` (deduplication, shared
+    workspace, result cache, throughput report).
 ``experiment``
     Run a single paper experiment (fig2 ... table2, restart_sweep) and
     print its table.
@@ -22,6 +25,7 @@ Examples
     python -m repro.cli stats --dataset Citation
     python -m repro.cli build --dataset Citation --output citation.npz
     python -m repro.cli query --index citation.npz --node 5 --k 10
+    python -m repro.cli query --index citation.npz --batch 5,9,5,12 --k 10
     python -m repro.cli experiment --name fig7 --scale 0.5
 """
 
@@ -87,6 +91,8 @@ def _cmd_build(args) -> int:
 
 def _cmd_query(args) -> int:
     index = load_index(args.index)
+    if args.batch is not None:
+        return _run_batch_query(index, args)
     result = index.top_k(args.node, args.k)
     print(
         f"top-{args.k} for node {args.node} "
@@ -96,6 +102,37 @@ def _cmd_query(args) -> int:
     for rank, (node, proximity) in enumerate(result.items, start=1):
         label = index.graph.label_of(node)
         print(f"  {rank:3d}. {label:30s} {proximity:.8f}")
+    return 0
+
+
+def _run_batch_query(index, args) -> int:
+    """The ``query --batch`` path: serve many queries via the engine."""
+    from .query import QueryEngine
+
+    try:
+        queries = [int(tok) for tok in args.batch.split(",") if tok.strip() != ""]
+    except ValueError:
+        print(f"error: --batch expects comma-separated node ids, got {args.batch!r}")
+        return 2
+    if not queries:
+        print("error: --batch expects at least one node id")
+        return 2
+    engine = QueryEngine(index)
+    results = engine.top_k_many(queries, args.k)
+    stats = engine.last_stats
+    print(
+        f"batch of {stats.n_queries} queries (k={args.k}): "
+        f"{stats.queries_per_second:,.0f} queries/s, "
+        f"{stats.executed} scans executed, "
+        f"{stats.dedup_hits} deduped, {stats.cache_hits} cache hits"
+    )
+    for query, result in zip(queries, results):
+        top_node, top_p = result.items[0]
+        print(
+            f"  node {query:6d}: top {index.graph.label_of(top_node):30s} "
+            f"{top_p:.8f}  (computed {result.n_computed}, "
+            f"early stop: {result.terminated_early})"
+        )
     return 0
 
 
@@ -150,7 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_query = sub.add_parser("query", help="query a saved index")
     p_query.add_argument("--index", required=True)
-    p_query.add_argument("--node", type=int, required=True)
+    target = p_query.add_mutually_exclusive_group(required=True)
+    target.add_argument("--node", type=int, help="single query node")
+    target.add_argument(
+        "--batch",
+        help="comma-separated query node ids, served via the QueryEngine",
+    )
     p_query.add_argument("--k", type=int, default=5)
     p_query.set_defaults(func=_cmd_query)
 

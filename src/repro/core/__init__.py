@@ -9,6 +9,11 @@
 - :class:`~repro.core.topk.TopKResult` — query result with search
   statistics (visited / computed / pruned counts for Figures 7 and 9);
 - :mod:`repro.core.index_io` — index persistence.
+
+All query modes execute on the single
+:func:`~repro.query.kernel.pruned_scan` kernel in :mod:`repro.query`,
+which also provides the batched serving layer
+(:class:`~repro.query.engine.QueryEngine`).
 """
 
 from .bfs_tree import BFSTree

@@ -20,7 +20,7 @@ paper's pseudocode leaves implicit:
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -90,6 +90,27 @@ class BFSTree:
         """Iterate over ``(node, layer)`` in visit order."""
         for u in self.order:
             yield int(u), int(self.layers[u])
+
+    def layer_groups(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(layer, nodes)`` groups in ascending-layer visit order.
+
+        The grouping the pruned-scan kernel consumes for fixed
+        schedules: consecutive runs of equal layer numbers, with nodes
+        in visit order inside each group.  Layer numbers may jump by
+        more than one only through the synthetic ``include_unreached``
+        layer; the kernel's bound state resets across such a gap.
+        """
+        order = self.order
+        layers = self.layers
+        i = 0
+        m = int(order.size)
+        while i < m:
+            layer = int(layers[order[i]])
+            group: List[int] = []
+            while i < m and int(layers[order[i]]) == layer:
+                group.append(int(order[i]))
+                i += 1
+            yield layer, group
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -64,7 +64,14 @@ class ProximityEstimator:
     c:
         Restart probability.
     query:
-        The query node ``q`` (its bound is the constant 1).
+        The query node ``q`` (its bound is the constant 1), or an
+        iterable of seed nodes for a restart *set* (Personalized
+        PageRank): every seed gets the trivial bound 1, and the
+        Definition 1 derivation goes through unchanged because it never
+        used ``|restart| = 1``.
+    total_mass:
+        Exact total proximity mass ``S`` of the restart vector (see the
+        module notes on dangling nodes); 1.0 reproduces the paper.
 
     Usage protocol (enforced): for each node in the visit schedule call
     :meth:`step` once to obtain its bound; if the node is then selected
@@ -90,7 +97,16 @@ class ProximityEstimator:
             raise InvalidParameterError(
                 f"diag has shape {diag.shape}, expected ({n},)"
             )
-        self._query = check_node_id(query, n, "query")
+        if isinstance(query, (int, np.integer)):
+            seed_nodes = (int(query),)
+        else:
+            seed_nodes = tuple(int(q) for q in query)
+            if not seed_nodes:
+                raise InvalidParameterError("seed set must not be empty")
+        self._unit_bound = frozenset(
+            check_node_id(q, n, "query") for q in seed_nodes
+        )
+        self._query = min(self._unit_bound)
         max_diag = float(diag.max()) if n else 0.0
         # c'_max: sound for every node, exact (1-c) without self-loops.
         self._c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
@@ -116,6 +132,11 @@ class ProximityEstimator:
     def c_prime(self) -> float:
         """The (maximal) multiplier ``c'`` applied to the bound terms."""
         return self._c_prime
+
+    @property
+    def unit_bound_nodes(self) -> frozenset:
+        """The seed nodes whose bound is the trivial constant 1."""
+        return self._unit_bound
 
     @property
     def selected_mass(self) -> float:
@@ -152,7 +173,7 @@ class ProximityEstimator:
             self._t2 = 0.0
         self._current_layer = layer
         self._awaiting_record = node
-        if node == self._query:
+        if node in self._unit_bound:
             return 1.0
         t3 = (self._total_mass - self._selected_mass) * self._amax
         return self._c_prime * (self._t1 + self._t2 + t3)

@@ -109,23 +109,13 @@ def load_index(path: str) -> KDash:
         archive["u_inv_indices"],
         archive["u_inv_data"],
     )
-    index._u_inv_scipy = index._u_inv.to_scipy()
     index._amax_col = np.asarray(archive["amax_col"], dtype=np.float64)
     index._amax = float(archive["amax"])
     index._diag = np.asarray(archive["diag"], dtype=np.float64)
 
-    # Rebuild the query-path acceleration structures exactly as build()
-    # does (they are derived data, cheaper to recompute than to store).
-    adj = graph.adjacency_csc().to_scipy()
-    index._adj_indptr = adj.indptr
-    index._adj_indices = adj.indices
-    index._succ_lists = [
-        adj.indices[adj.indptr[u] : adj.indptr[u + 1]].tolist() for u in range(n)
-    ]
-    index._position_list = index._perm.position.tolist()
-    ones = np.ones(n, dtype=np.float64)
-    index._l_inv_scipy = index._l_inv.to_scipy()
-    column_sums = index._l_inv_scipy.T @ (index._u_inv_scipy.T @ ones)
-    index._total_mass_perm = np.minimum(1.0, index.c * column_sums + 1e-12)
-    index._built = True
+    # Rebuild the query-path acceleration structures (scipy copies,
+    # successor lists, total proximity mass, PreparedIndex) exactly as
+    # build() does — they are derived data, cheaper to recompute than to
+    # store.  Sets index._built.
+    index._finalise_query_path()
     return index

@@ -16,14 +16,20 @@ node, and evaluate ``p_u = c · U^-1[u,:] · y`` only while the bound stays
 at or above the running K-th best proximity θ.  Lemmas 1–2 make the first
 bound violation a certificate that *every* remaining node is out, so the
 search stops — exactness without exhaustive computation (Theorem 2).
+
+All query modes (top-k, root-override ablation, threshold, personalized
+restart sets) are thin adapters over the single
+:func:`~repro.query.kernel.pruned_scan` kernel, fed by the
+:class:`~repro.query.prepared.PreparedIndex` cached at build time; for
+serving-oriented batched execution see
+:class:`~repro.query.engine.QueryEngine`.
 """
 
 from __future__ import annotations
 
-import heapq
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -36,12 +42,13 @@ from ..lu.fillin import FillInReport, fill_in_report
 from ..lu.inverse import triangular_inverses
 from ..lu.scipy_backend import superlu_lu
 from ..ordering import ReorderingStrategy, get_reordering
+from ..query.kernel import pruned_scan, scan_to_topk
+from ..query.prepared import PreparedIndex
 from ..sparse import sparse_column_max
 from ..sparse.csc import CSCMatrix
 from ..validation import check_choice, check_k, check_node_id, check_restart_probability
 from .bfs_tree import BFSTree
-from .estimator import ProximityEstimator
-from .topk import TopKResult, rank_items
+from .topk import TopKResult, pad_items, rank_items
 
 
 @dataclass(frozen=True)
@@ -141,44 +148,13 @@ class KDash:
         )
         inverse_seconds = time.perf_counter() - t0
 
-        # scipy CSR copy of U^-1 for vectorised full-vector products
-        # (used by the prune=False ablation and proximity_column).
-        self._u_inv_scipy = self._u_inv.to_scipy()
-
-        # Adjacency structure in array form for the lazy BFS of the
-        # query loop: successors(u) = _adj_indices[_adj_indptr[u]:...].
-        adj = self.graph.adjacency_csc().to_scipy()
-        self._adj_indptr = adj.indptr
-        self._adj_indices = adj.indices
-        # Plain-Python mirrors for the hot search loop: at the typical
-        # out-degrees of real graphs (<~10), list iteration beats numpy
-        # slicing by a wide margin, and the query loop is pure overhead
-        # around one numpy dot per visited node.
-        self._succ_lists = [
-            adj.indices[adj.indptr[u] : adj.indptr[u + 1]].tolist()
-            for u in range(self.graph.n_nodes)
-        ]
-        self._position_list = self._perm.position.tolist()
-
-        # Exact per-query total proximity mass S(q) = c * 1^T W^-1 e_q,
-        # indexed by permuted position.  Feeds the estimator's t3 term:
-        # the paper assumes S(q) = 1, which only holds without dangling
-        # nodes; using the exact value keeps the bound valid and tight
-        # (see ProximityEstimator docs).  The 1e-12 cushion absorbs
-        # floating-point underestimation; the clamp keeps it a probability.
-        n = self.graph.n_nodes
-        ones = np.ones(n, dtype=np.float64)
-        # scipy CSC copy of L^-1 (kept: the dynamic-update wrapper and
-        # personalised queries need full W^-1-vector products).
-        self._l_inv_scipy = self._l_inv.to_scipy()
-        column_sums = self._l_inv_scipy.T @ (self._u_inv_scipy.T @ ones)
-        self._total_mass_perm = np.minimum(1.0, self.c * column_sums + 1e-12)
-
         # Estimator inputs live in *original* node order.
         adjacency_kernel = CSCMatrix.from_scipy(adjacency)
         self._amax_col = sparse_column_max(adjacency_kernel)
         self._amax = float(self._amax_col.max()) if self._amax_col.size else 0.0
         self._diag = adjacency.diagonal()
+
+        self._finalise_query_path()
 
         self.build_report = BuildReport(
             reorder_seconds=reorder_seconds,
@@ -188,8 +164,68 @@ class KDash:
             fill_in=fill_in_report(self.graph.n_edges, ell, u, self._l_inv, self._u_inv),
             lu_backend_used=backend_used,
         )
-        self._built = True
         return self
+
+    def _finalise_query_path(self) -> None:
+        """Derive every query-invariant structure from the factor state.
+
+        Called at the end of :meth:`build` and by
+        :func:`repro.core.index_io.load_index` (the derived data is
+        cheaper to recompute than to store).  Requires ``_perm``,
+        ``_l_inv``, ``_u_inv``, ``_amax_col``, ``_amax`` and ``_diag``;
+        produces the scipy copies, the exact per-query proximity mass,
+        and the :class:`~repro.query.prepared.PreparedIndex` that makes
+        per-query setup O(1) — all ``tolist()`` conversions and the
+        ``c'`` computation happen exactly once, here.
+        """
+        n = self.graph.n_nodes
+        # scipy copies for vectorised full-vector products: U^-1 (CSR)
+        # feeds the prune=False ablation and proximity_column; L^-1
+        # (CSC) feeds the dynamic-update wrapper.
+        self._u_inv_scipy = self._u_inv.to_scipy()
+        self._l_inv_scipy = self._l_inv.to_scipy()
+
+        # Successor lists for the lazy BFS of the query loop, as
+        # plain-Python mirrors: at the typical out-degrees of real
+        # graphs (<~10), list iteration beats numpy slicing by a wide
+        # margin, and the query loop is pure overhead around one numpy
+        # dot per visited node.
+        adj = self.graph.adjacency_csc().to_scipy()
+        self._succ_lists = [
+            adj.indices[adj.indptr[u] : adj.indptr[u + 1]].tolist()
+            for u in range(n)
+        ]
+        self._position_list = self._perm.position.tolist()
+
+        # Exact per-query total proximity mass S(q) = c * 1^T W^-1 e_q,
+        # indexed by permuted position.  Feeds the estimator's t3 term:
+        # the paper assumes S(q) = 1, which only holds without dangling
+        # nodes; using the exact value keeps the bound valid and tight
+        # (see ProximityEstimator docs).  The 1e-12 cushion absorbs
+        # floating-point underestimation; the clamp keeps it a probability.
+        ones = np.ones(n, dtype=np.float64)
+        column_sums = self._l_inv_scipy.T @ (self._u_inv_scipy.T @ ones)
+        self._total_mass_perm = np.minimum(1.0, self.c * column_sums + 1e-12)
+
+        self._prepared = PreparedIndex(
+            n=n,
+            c=self.c,
+            max_diag=float(self._diag.max()) if n else 0.0,
+            amax=self._amax,
+            amax_col=self._amax_col,
+            position=self._perm.position,
+            succ_lists=self._succ_lists,
+            u_inv=self._u_inv,
+            l_inv=self._l_inv,
+            total_mass_perm=self._total_mass_perm,
+        )
+        self._built = True
+
+    @property
+    def prepared(self) -> PreparedIndex:
+        """The query-invariant state shared with the pruned-scan kernel."""
+        self._require_built()
+        return self._prepared
 
     def _factorise(self, w: sp.csc_matrix):
         """Apply the configured LU backend, with auto-fallback."""
@@ -229,10 +265,8 @@ class KDash:
     # ------------------------------------------------------------------
     def _query_workspace(self, query: int) -> np.ndarray:
         """Dense scatter of column ``position[q]`` of ``L^-1``."""
-        qpos = int(self._perm.position[query])
-        rows, vals = self._l_inv.column(qpos)
-        y = np.zeros(self.graph.n_nodes, dtype=np.float64)
-        y[rows] = vals
+        y = self._prepared.workspace()
+        self._prepared.scatter_column(y, query)
         return y
 
     def proximity(self, query: int, node: int) -> float:
@@ -306,176 +340,23 @@ class KDash:
                 include_unreached=root is not None,
             )
             return self._top_k_exhaustive(query, k, tree, y)
+
+        # The Figure 9 ablation replaces the lazy frontier with a fixed
+        # BFSTree schedule rooted away from the query; the kernel then
+        # defers termination until the query node has been evaluated
+        # (its constant-1 bound breaks Lemma 2's monotone chain).
+        schedule = None
         if root is not None and root != query:
-            return self._top_k_root_override(query, k, root, y)
-        return self._top_k_pruned(query, k, y)
-
-    def _top_k_pruned(self, query: int, k: int, y: np.ndarray) -> TopKResult:
-        """Algorithm 4 with the BFS tree expanded lazily.
-
-        The visit sequence is exactly the BFS discovery order a full tree
-        would give, but nodes beyond the termination point are never even
-        discovered — so a heavily pruned query costs time proportional to
-        the visited neighbourhood, not to ``n + m`` (the practical
-        behaviour behind the paper's Figure 2 gap).
-        """
-        n = self.graph.n_nodes
-        position = self._position_list
-        c = self.c
-        succ_lists = self._succ_lists
-        # Local views of U^-1 (CSR) for the inlined row dot products.
-        uinv_indptr = self._u_inv.indptr.tolist()
-        uinv_indices = self._u_inv.indices
-        uinv_data = self._u_inv.data
-        amax_col = self._amax_col.tolist()
-        amax = self._amax
-
-        # The Definition 2 state machine, inlined for the hot loop (the
-        # class-based ProximityEstimator realises the same recurrences
-        # and is what tests verify; see repro/core/estimator.py):
-        #   t1 = sum of p_v*Amax(v) over selected nodes one layer up,
-        #   t2 = same over selected nodes on the current layer,
-        #   t3 = (1 - selected mass) * Amax.
-        max_diag = float(self._diag.max()) if n else 0.0
-        c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
-        t1 = 0.0
-        t2 = 0.0
-        selected_mass = 0.0
-        total_mass = float(self._total_mass_perm[position[query]])
-
-        # Candidate heap primed with K dummies of proximity 0 (Algorithm 4
-        # line 4); ties broken by visit sequence, which only affects which
-        # equal-proximity node is evicted, never correctness.
-        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
-        heapq.heapify(heap)
-        heapreplace = heapq.heapreplace
-        theta = 0.0
-        n_visited = 0
-        n_computed = 0
-        terminated_early = False
-        sequence = 0
-        seen = bytearray(n)
-        seen[query] = 1
-        # Layer-by-layer frontier lists reproduce FIFO BFS discovery order.
-        frontier: List[int] = [query]
-        layer = 0
-        while frontier:
-            next_frontier: List[int] = []
-            for node in frontier:
-                n_visited += 1
-                bound = (
-                    1.0
-                    if node == query
-                    else c_prime * (t1 + t2 + (total_mass - selected_mass) * amax)
-                )
-                if bound < theta:
-                    # Lemma 2: every undiscovered node is bounded below
-                    # theta as well -> stop outright.
-                    terminated_early = True
-                    frontier = next_frontier = []
-                    break
-                pos = position[node]
-                lo, hi = uinv_indptr[pos], uinv_indptr[pos + 1]
-                proximity = c * (uinv_data[lo:hi] @ y[uinv_indices[lo:hi]])
-                n_computed += 1
-                t2 += proximity * amax_col[node]
-                selected_mass += proximity
-                if proximity > theta:
-                    sequence += 1
-                    heapreplace(heap, (proximity, sequence, node))
-                    theta = heap[0][0]
-                for child in succ_lists[node]:
-                    if not seen[child]:
-                        seen[child] = True
-                        next_frontier.append(child)
-            frontier = next_frontier
-            layer += 1
-            # Layer advance: own-layer sum becomes the layer-above sum
-            # (Definition 2's shift case).
-            t1 = t2
-            t2 = 0.0
-
-        items = [(node, p) for p, _, node in heap if node >= 0]
-        ranked = rank_items(items, k)
-        ranked, padded = self._pad(ranked, k)
-        return TopKResult(
-            query=query,
+            schedule = BFSTree(self.graph, root, include_unreached=True)
+        scan = pruned_scan(
+            self._prepared,
+            y,
+            (query,),
             k=k,
-            items=ranked,
-            n_visited=n_visited,
-            n_computed=n_computed,
-            n_pruned=n - n_visited,
-            terminated_early=terminated_early,
-            padded=padded,
+            total_mass=self._prepared.total_mass_of(query),
+            schedule=schedule,
         )
-
-    def _top_k_root_override(
-        self, query: int, k: int, root: int, y: np.ndarray
-    ) -> TopKResult:
-        """The Figure 9 ablation: BFS tree rooted away from the query.
-
-        All nodes are scheduled (tree layers first, non-tree nodes in a
-        synthetic final layer).  Exactness needs one extra rule: the
-        query node's bound is the constant 1, which breaks Lemma 2's
-        monotone chain, so termination may only fire once the query has
-        been evaluated; before that, bound violations merely *skip* the
-        node (sound: theta is monotone and the node's own bound already
-        rules it out).
-        """
-        tree = BFSTree(self.graph, root, include_unreached=True)
-        position = self._perm.position
-        u_inv = self._u_inv
-        c = self.c
-        estimator = ProximityEstimator(
-            self._amax_col,
-            self._amax,
-            self._diag,
-            c,
-            query,
-            total_mass=float(self._total_mass_perm[position[query]]),
-        )
-        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
-        heapq.heapify(heap)
-        theta = 0.0
-        n_visited = 0
-        n_computed = 0
-        n_pruned = 0
-        terminated_early = False
-        query_seen = False
-        sequence = 0
-        for node, layer in tree:
-            n_visited += 1
-            bound = estimator.step(node, layer)
-            if bound < theta and node != query:
-                if query_seen:
-                    n_pruned += 1 + (tree.n_scheduled - n_visited)
-                    terminated_early = True
-                    break
-                n_pruned += 1
-                continue
-            if node == query:
-                query_seen = True
-            proximity = c * u_inv.row_dot(int(position[node]), y)
-            n_computed += 1
-            estimator.record(node, proximity)
-            if proximity > theta:
-                sequence += 1
-                heapq.heapreplace(heap, (proximity, sequence, node))
-                theta = heap[0][0]
-
-        items = [(node, p) for p, _, node in heap if node >= 0]
-        ranked = rank_items(items, k)
-        ranked, padded = self._pad(ranked, k)
-        return TopKResult(
-            query=query,
-            k=k,
-            items=ranked,
-            n_visited=n_visited,
-            n_computed=n_computed,
-            n_pruned=n_pruned,
-            terminated_early=terminated_early,
-            padded=padded,
-        )
+        return scan_to_topk(query, k, n, scan)
 
     def above_threshold(self, query: int, threshold: float) -> TopKResult:
         """All nodes with proximity at least ``threshold``, exactly.
@@ -504,66 +385,22 @@ class KDash:
                 f"threshold must be a positive finite float, got {threshold!r}"
             )
         y = self._query_workspace(query)
-        position = self._position_list
-        uinv_indptr = self._u_inv.indptr.tolist()
-        uinv_indices = self._u_inv.indices
-        uinv_data = self._u_inv.data
-        amax_col = self._amax_col.tolist()
-        amax = self._amax
-        c = self.c
-        max_diag = float(self._diag.max()) if n else 0.0
-        c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
-        total_mass = float(self._total_mass_perm[position[query]])
-
-        t1 = 0.0
-        t2 = 0.0
-        selected_mass = 0.0
-        answers: List[Tuple[int, float]] = []
-        n_visited = 0
-        n_computed = 0
-        terminated_early = False
-        seen = bytearray(n)
-        seen[query] = 1
-        frontier: List[int] = [query]
-        succ_lists = self._succ_lists
-        while frontier:
-            next_frontier: List[int] = []
-            for node in frontier:
-                n_visited += 1
-                bound = (
-                    1.0
-                    if node == query
-                    else c_prime * (t1 + t2 + (total_mass - selected_mass) * amax)
-                )
-                if bound < threshold:
-                    terminated_early = True
-                    frontier = next_frontier = []
-                    break
-                pos = position[node]
-                lo, hi = uinv_indptr[pos], uinv_indptr[pos + 1]
-                proximity = c * (uinv_data[lo:hi] @ y[uinv_indices[lo:hi]])
-                n_computed += 1
-                t2 += proximity * amax_col[node]
-                selected_mass += proximity
-                if proximity >= threshold:
-                    answers.append((node, proximity))
-                for child in succ_lists[node]:
-                    if not seen[child]:
-                        seen[child] = 1
-                        next_frontier.append(child)
-            frontier = next_frontier
-            t1 = t2
-            t2 = 0.0
-
-        ranked = rank_items(answers, len(answers)) if answers else ()
+        scan = pruned_scan(
+            self._prepared,
+            y,
+            (query,),
+            threshold=threshold,
+            total_mass=self._prepared.total_mass_of(query),
+        )
+        ranked = rank_items(scan.items, len(scan.items)) if scan.items else ()
         return TopKResult(
             query=query,
             k=len(ranked),
             items=ranked,
-            n_visited=n_visited,
-            n_computed=n_computed,
-            n_pruned=n - n_visited,
-            terminated_early=terminated_early,
+            n_visited=scan.n_visited,
+            n_computed=scan.n_computed,
+            n_pruned=scan.n_pruned,
+            terminated_early=scan.terminated_early,
             padded=False,
         )
 
@@ -615,88 +452,20 @@ class KDash:
             seeds[node] = weight
         total_weight = sum(seeds.values())
 
-        # y = sum_i w_i * L^-1[:, pos_i]  (the multi-column scatter).
-        y = np.zeros(n, dtype=np.float64)
-        total_mass = 0.0
-        for node, weight in seeds.items():
-            share = weight / total_weight
-            pos = int(self._perm.position[node])
-            rows, vals = self._l_inv.column(pos)
-            y[rows] += share * vals
-            total_mass += share * float(self._total_mass_perm[pos])
-        total_mass = min(1.0, total_mass + 1e-12)
-
-        position = self._position_list
-        uinv_indptr = self._u_inv.indptr.tolist()
-        uinv_indices = self._u_inv.indices
-        uinv_data = self._u_inv.data
-        amax_col = self._amax_col.tolist()
-        amax = self._amax
-        c = self.c
-        max_diag = float(self._diag.max()) if n else 0.0
-        c_prime = (1.0 - c) / (1.0 - (1.0 - c) * max_diag)
-        seed_set = set(seeds)
-
-        t1 = 0.0
-        t2 = 0.0
-        selected_mass = 0.0
-        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
-        heapq.heapify(heap)
-        heapreplace = heapq.heapreplace
-        theta = 0.0
-        n_visited = 0
-        n_computed = 0
-        terminated_early = False
-        sequence = 0
-        seen = bytearray(n)
-        frontier: List[int] = sorted(seed_set)
-        for s in frontier:
-            seen[s] = 1
-        succ_lists = self._succ_lists
-        while frontier:
-            next_frontier: List[int] = []
-            for node in frontier:
-                n_visited += 1
-                bound = (
-                    1.0
-                    if node in seed_set
-                    else c_prime * (t1 + t2 + (total_mass - selected_mass) * amax)
-                )
-                if bound < theta:
-                    terminated_early = True
-                    frontier = next_frontier = []
-                    break
-                pos = position[node]
-                lo, hi = uinv_indptr[pos], uinv_indptr[pos + 1]
-                proximity = c * (uinv_data[lo:hi] @ y[uinv_indices[lo:hi]])
-                n_computed += 1
-                t2 += proximity * amax_col[node]
-                selected_mass += proximity
-                if proximity > theta:
-                    sequence += 1
-                    heapreplace(heap, (proximity, sequence, node))
-                    theta = heap[0][0]
-                for child in succ_lists[node]:
-                    if not seen[child]:
-                        seen[child] = 1
-                        next_frontier.append(child)
-            frontier = next_frontier
-            t1 = t2
-            t2 = 0.0
-
-        items = [(node, p) for p, _, node in heap if node >= 0]
-        ranked = rank_items(items, k)
-        ranked, padded = self._pad(ranked, k)
-        return TopKResult(
-            query=min(seed_set),
+        # y = sum_i w_i * L^-1[:, pos_i]  (the multi-column scatter);
+        # every seed gets the trivial bound 1 and all seeds form layer 0
+        # of the lazy multi-source BFS.
+        shares = {node: weight / total_weight for node, weight in seeds.items()}
+        y, total_mass = self._prepared.seed_workspace(shares)
+        scan = pruned_scan(
+            self._prepared,
+            y,
+            shares,
             k=k,
-            items=ranked,
-            n_visited=n_visited,
-            n_computed=n_computed,
-            n_pruned=n - n_visited,
-            terminated_early=terminated_early,
-            padded=padded,
+            total_mass=total_mass,
         )
+        result = scan_to_topk(min(seeds), k, n, scan)
+        return result
 
     def top_k_batch(
         self,
@@ -704,12 +473,15 @@ class KDash:
         k: int = 5,
         prune: bool = True,
     ) -> List[TopKResult]:
-        """Run :meth:`top_k` for a sequence of queries.
+        """Run :meth:`top_k` for a sequence of queries, naively.
 
-        Convenience for recommendation-style workloads that rank against
-        many seeds; results are returned in input order.  The index is
-        shared, so this is simply the per-query cost times
-        ``len(queries)`` — there is no cross-query state.
+        Results are returned in input order; the cost is simply the
+        per-query cost times ``len(queries)`` — no cross-query state, no
+        workspace reuse, no deduplication.  Kept as the unbatched
+        baseline; serving workloads should prefer
+        :meth:`repro.query.engine.QueryEngine.top_k_many`, which shares
+        one workspace across the batch, dedupes repeated queries and can
+        cache results across calls.
         """
         return [self.top_k(int(q), k, prune=prune) for q in queries]
 
@@ -721,7 +493,7 @@ class KDash:
         full = self._perm.unpermute_vector(permuted)
         pairs = [(int(u), float(full[u])) for u in tree.order]
         ranked = rank_items(pairs, k)
-        ranked, padded = self._pad(ranked, k)
+        ranked, padded = pad_items(ranked, k, self.graph.n_nodes)
         return TopKResult(
             query=query,
             k=k,
@@ -732,25 +504,3 @@ class KDash:
             terminated_early=False,
             padded=padded,
         )
-
-    def _pad(
-        self, ranked: Tuple[Tuple[int, float], ...], k: int
-    ) -> Tuple[Tuple[Tuple[int, float], ...], bool]:
-        """Fill up to ``k`` items with zero-proximity nodes (ascending id).
-
-        Matches the brute-force canonical ordering: nodes unreachable
-        from the query have proximity exactly 0 and rank after every
-        reachable node, tie-broken by id.
-        """
-        n = self.graph.n_nodes
-        want = min(k, n)
-        if len(ranked) >= want:
-            return ranked[:want], False
-        present = {node for node, _ in ranked}
-        extra = []
-        for node in range(n):
-            if node not in present:
-                extra.append((node, 0.0))
-                if len(ranked) + len(extra) == want:
-                    break
-        return tuple(ranked) + tuple(extra), True

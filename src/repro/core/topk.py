@@ -96,3 +96,26 @@ def rank_items(pairs: Sequence[Tuple[int, float]], k: int) -> Tuple[Tuple[int, f
     prox = np.asarray([p for _, p in pairs], dtype=np.float64)
     order = np.lexsort((nodes, -prox))[:k]
     return tuple((int(nodes[i]), float(prox[i])) for i in order)
+
+
+def pad_items(
+    ranked: Tuple[Tuple[int, float], ...], k: int, n: int
+) -> Tuple[Tuple[Tuple[int, float], ...], bool]:
+    """Fill ``ranked`` up to ``min(k, n)`` items with zero-proximity nodes.
+
+    Matches the brute-force canonical ordering: nodes unreachable from
+    the query have proximity exactly 0 and rank after every reachable
+    node, tie-broken by ascending id (the paper pads with "dummy
+    nodes").  Returns ``(items, padded)``.
+    """
+    want = min(k, n)
+    if len(ranked) >= want:
+        return tuple(ranked[:want]), False
+    present = {node for node, _ in ranked}
+    extra = []
+    for node in range(n):
+        if node not in present:
+            extra.append((node, 0.0))
+            if len(ranked) + len(extra) == want:
+                break
+    return tuple(ranked) + tuple(extra), True

@@ -1,0 +1,30 @@
+"""The unified query subsystem: one kernel, prepared state, a serving engine.
+
+Layering (bottom up):
+
+- :mod:`repro.query.prepared` — :class:`PreparedIndex`, the
+  query-invariant conversions cached once at build time;
+- :mod:`repro.query.kernel` — :func:`pruned_scan`, Algorithm 4 realised
+  exactly once and parameterised by seed set, traversal schedule and
+  stopping rule (every public query mode of
+  :class:`~repro.core.kdash.KDash` is a thin adapter over it);
+- :mod:`repro.query.engine` — :class:`QueryEngine`, the batched /
+  cached / observable serving surface;
+- :mod:`repro.query.stats` — :class:`QueryStats` (per call) and
+  :class:`EngineStats` (lifetime aggregates).
+"""
+
+from .kernel import ScanResult, pruned_scan, scan_to_topk
+from .prepared import PreparedIndex
+from .engine import QueryEngine
+from .stats import EngineStats, QueryStats
+
+__all__ = [
+    "PreparedIndex",
+    "pruned_scan",
+    "scan_to_topk",
+    "ScanResult",
+    "QueryEngine",
+    "QueryStats",
+    "EngineStats",
+]

@@ -1,0 +1,311 @@
+"""The serving layer: batched, cached, observable K-dash queries.
+
+:class:`QueryEngine` is the surface the CLI, the examples and future
+sharding/async work build on.  It owns one built
+:class:`~repro.core.kdash.KDash` index and adds what a query *server*
+needs on top of a query *algorithm*:
+
+- **batching** — :meth:`top_k_many` runs many queries against one reused
+  dense workspace (cleared in O(nnz of the seed column) between queries
+  instead of reallocated in O(n)), deduplicates repeated queries within
+  the batch, and preserves input order in the output;
+- **caching** — an optional LRU result cache across calls; real traffic
+  is heavily skewed, and a K-dash result for a static index never goes
+  stale;
+- **observability** — every call emits a :class:`QueryStats` record
+  (wall time, cache/dedup accounting, pruning counters) and folds into
+  the lifetime :class:`EngineStats`.
+
+All four query modes route through the same
+:func:`~repro.query.kernel.pruned_scan` kernel the index itself uses, so
+engine answers are bit-identical to direct index calls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from time import perf_counter
+from typing import TYPE_CHECKING, Deque, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.topk import TopKResult
+from ..validation import check_k, check_node_id, check_non_negative_int
+from .kernel import pruned_scan, scan_to_topk
+from .stats import EngineStats, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kdash uses the kernel)
+    from ..core.kdash import KDash
+
+
+class QueryEngine:
+    """Serve top-k / threshold / personalized queries from one index.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.core.kdash.KDash` instance; built on the spot
+        when :meth:`~repro.core.kdash.KDash.build` has not run yet.
+    cache_size:
+        Maximum entries of the LRU result cache; ``0`` disables caching
+        entirely.  Cached entries are the immutable ``TopKResult``
+        objects themselves, so the footprint is small — prefer a
+        capacity above the working set: sustained eviction churn costs
+        more than the cache saves on uniform traffic.
+    history_size:
+        How many per-call :class:`QueryStats` records to retain in
+        :attr:`history`.
+
+    Examples
+    --------
+    >>> from repro.graph import star_graph
+    >>> from repro.core import KDash
+    >>> engine = QueryEngine(KDash(star_graph(4), c=0.9))
+    >>> [r.nodes[0] for r in engine.top_k_many([0, 1, 0], k=2)]
+    [0, 1, 0]
+    """
+
+    def __init__(
+        self,
+        index: "KDash",
+        cache_size: int = 1024,
+        history_size: int = 64,
+    ) -> None:
+        if not index.is_built:
+            index.build()
+        self.index = index
+        self.cache_size = check_non_negative_int(cache_size, "cache_size")
+        history_size = check_non_negative_int(history_size, "history_size")
+        self._cache: "OrderedDict[tuple, TopKResult]" = OrderedDict()
+        self.history: Deque[QueryStats] = deque(maxlen=history_size)
+        self.last_stats: Optional[QueryStats] = None
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: tuple) -> Optional[TopKResult]:
+        if not self.cache_size:
+            return None
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+        return hit
+
+    def _cache_put(self, key: tuple, result: TopKResult) -> None:
+        if not self.cache_size:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (e.g. after swapping the index)."""
+        self._cache.clear()
+
+    def cache_info(self) -> Tuple[int, int]:
+        """``(current_entries, capacity)`` of the result cache."""
+        return len(self._cache), self.cache_size
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        mode: str,
+        n_queries: int,
+        cache_hits: int,
+        dedup_hits: int,
+        t_start: float,
+        results: Sequence[TopKResult],
+        executed_flags: Optional[Sequence[bool]] = None,
+    ) -> None:
+        """Build the per-call QueryStats record and fold the aggregates."""
+        executed = (
+            results
+            if executed_flags is None
+            else [r for r, ran in zip(results, executed_flags) if ran]
+        )
+        stats = QueryStats(
+            mode=mode,
+            n_queries=n_queries,
+            cache_hits=cache_hits,
+            dedup_hits=dedup_hits,
+            seconds=perf_counter() - t_start,
+            n_visited=sum(r.n_visited for r in executed),
+            n_computed=sum(r.n_computed for r in executed),
+            n_pruned=sum(r.n_pruned for r in executed),
+            terminated_early=any(r.terminated_early for r in executed),
+        )
+        self.last_stats = stats
+        self.history.append(stats)
+        self.stats.record(stats)
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        query: int,
+        k: int = 5,
+        prune: bool = True,
+        root: Optional[int] = None,
+    ) -> TopKResult:
+        """Single top-k query; identical answers to ``index.top_k``.
+
+        The ablation variants (``prune=False`` or a root override) pass
+        straight through and are never cached — they exist for
+        experiments, not serving.
+        """
+        t0 = perf_counter()
+        if not prune or root is not None:
+            result = self.index.top_k(query, k, prune=prune, root=root)
+            self._record("top_k_ablation", 1, 0, 0, t0, [result])
+            return result
+        query = check_node_id(query, self.index.graph.n_nodes, "query")
+        k = check_k(k)
+        key = ("topk", query, k)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._record("top_k", 1, 1, 0, t0, [cached], executed_flags=[False])
+            return cached
+        result = self.index.top_k(query, k)
+        self._cache_put(key, result)
+        self._record("top_k", 1, 0, 0, t0, [result])
+        return result
+
+    def top_k_many(self, queries: Iterable[int], k: int = 5) -> List[TopKResult]:
+        """Batched top-k: one reused workspace, deduped, cache-backed.
+
+        Results come back in input order; duplicate queries share one
+        scan.  This is the serving-path replacement for the naive
+        ``KDash.top_k_batch`` loop (see
+        ``benchmarks/bench_batch_throughput.py`` for the comparison).
+        """
+        t0 = perf_counter()
+        index = self.index
+        prepared = index._prepared
+        n = prepared.n
+        k = check_k(k)
+        # Vectorised validation: one range check for the whole batch.
+        qarr = np.asarray(list(queries), dtype=np.int64)
+        if qarr.size and (qarr.min() < 0 or qarr.max() >= n):
+            bad = int(qarr[(qarr < 0) | (qarr >= n)][0])
+            check_node_id(bad, n, "query")  # raises with the right message
+        qlist = qarr.tolist()
+
+        resolved: dict = {}
+        executed: List[TopKResult] = []
+        cache_hits = 0
+        dedup_hits = 0
+        y = prepared.workspace()
+        # Local aliases + inlined LRU ops: the scan itself is ~100µs, so
+        # per-query method-call overhead is a measurable tax here.
+        cache = self._cache if self.cache_size else None
+        capacity = self.cache_size
+        scatter = prepared.scatter_column
+        clear = prepared.clear_rows
+        total_mass_perm = prepared.total_mass_perm
+        position = prepared.position
+        for q in qlist:
+            if q in resolved:
+                dedup_hits += 1
+                continue
+            key = ("topk", q, k)
+            if cache is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    cache.move_to_end(key)
+                    resolved[q] = cached
+                    cache_hits += 1
+                    continue
+            rows = scatter(y, q)
+            scan = pruned_scan(
+                prepared,
+                y,
+                (q,),
+                k=k,
+                total_mass=float(total_mass_perm[position[q]]),
+            )
+            clear(y, rows)
+            result = scan_to_topk(q, k, n, scan)
+            if cache is not None:
+                # The key just missed, so plain insertion already lands
+                # it at the LRU tail; no move_to_end needed.
+                cache[key] = result
+                if len(cache) > capacity:
+                    cache.popitem(last=False)
+            resolved[q] = result
+            executed.append(result)
+
+        results = [resolved[q] for q in qlist]
+        self._record(
+            "top_k_many", len(qlist), cache_hits, dedup_hits, t0, executed
+        )
+        return results
+
+    def above_threshold(self, query: int, threshold: float) -> TopKResult:
+        """All nodes with proximity ≥ ``threshold`` (cached, observable)."""
+        t0 = perf_counter()
+        # Validate before the cache lookup: a coerced key must never
+        # hand an invalid query another node's cached result.
+        query = check_node_id(query, self.index.graph.n_nodes, "query")
+        key = ("thr", query, float(threshold))
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._record(
+                "above_threshold", 1, 1, 0, t0, [cached], executed_flags=[False]
+            )
+            return cached
+        result = self.index.above_threshold(query, threshold)
+        self._cache_put(key, result)
+        self._record("above_threshold", 1, 0, 0, t0, [result])
+        return result
+
+    def top_k_personalized(self, restart, k: int = 5) -> TopKResult:
+        """Top-k for a weighted restart set (cached on normalised weights)."""
+        t0 = perf_counter()
+        key = self._personalized_key(restart, k)
+        if key is not None:
+            cached = self._cache_get(key)
+            if cached is not None:
+                self._record(
+                    "top_k_personalized", 1, 1, 0, t0, [cached], executed_flags=[False]
+                )
+                return cached
+        result = self.index.top_k_personalized(restart, k)
+        if key is not None:
+            self._cache_put(key, result)
+        self._record("top_k_personalized", 1, 0, 0, t0, [result])
+        return result
+
+    @staticmethod
+    def _personalized_key(restart, k: int) -> Optional[tuple]:
+        """Cache key on *normalised* weights; ``None`` defers validation.
+
+        ``{3: 1, 11: 1}`` and ``{3: 10, 11: 10}`` are the same query, so
+        the key uses weight shares.  Malformed input returns ``None`` —
+        the index's own validation then raises the right error.
+        """
+        try:
+            pairs = list(dict(restart).items())
+            # Node ids must already be integers (bool excluded): coercing
+            # here would let {2.7: 1.0} hit the cache entry of {2: 1.0}.
+            if any(
+                isinstance(nd, bool) or not isinstance(nd, (int, np.integer))
+                for nd, _ in pairs
+            ):
+                return None
+            items = sorted((int(nd), float(w)) for nd, w in pairs)
+        except (TypeError, ValueError, AttributeError):
+            return None
+        total = sum(w for _, w in items)
+        if not items or not total > 0.0:
+            return None
+        return ("ppr", tuple((nd, w / total) for nd, w in items), int(k))
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the lifetime aggregates and the per-call history."""
+        self.stats = EngineStats()
+        self.history.clear()
+        self.last_stats = None

@@ -1,0 +1,260 @@
+"""The unified pruned-scan kernel: Algorithm 4, realised exactly once.
+
+Every query mode of the library is the same search — visit nodes in
+ascending BFS-layer order, maintain the Definition 2 upper bound in O(1)
+per node, evaluate ``p_u = c · U^-1[u,:] · y`` only while the bound can
+still beat the admission cut-off θ, and stop on the first Lemma 2
+violation.  The modes differ only along three axes, all of which are
+kernel parameters:
+
+- **seed set** — the nodes whose bound is the trivial 1 (a single query
+  node, or a weighted restart set for Personalized PageRank);
+- **traversal schedule** — the lazy BFS frontier grown from the seeds
+  (default; nodes beyond the termination point are never even
+  discovered), or a fixed :class:`~repro.core.bfs_tree.BFSTree` schedule
+  (the Figure 9 root-override ablation);
+- **stopping rule** — a top-k heap whose minimum is θ, or a constant
+  threshold θ.
+
+Exactness subtleties the kernel preserves from the per-mode seed
+implementations it replaces:
+
+- With a fixed schedule the seeds may appear arbitrarily late, and their
+  constant-1 bound breaks Lemma 2's monotone chain; termination is
+  therefore deferred until every seed has been evaluated, and earlier
+  bound violations merely *skip* the node (sound: θ is monotone and the
+  node's own bound already rules it out).
+- A fixed schedule may skip a layer (the synthetic final layer of
+  ``include_unreached``); both bound terms then reset, matching
+  :class:`~repro.core.estimator.ProximityEstimator`'s layer-skip case.
+- In lazy mode all seeds occupy layer 0, so any bound violation happens
+  after every seed was evaluated and stops the whole scan outright.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.topk import TopKResult, pad_items, rank_items
+from ..exceptions import InvalidParameterError
+from .prepared import PreparedIndex
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Raw kernel output: unranked selections plus search counters.
+
+    ``items`` holds the heap contents (top-k rule) or every qualifying
+    node (threshold rule); adapters rank, truncate and pad.
+    """
+
+    items: Tuple[Tuple[int, float], ...]
+    n_visited: int
+    n_computed: int
+    n_pruned: int
+    terminated_early: bool
+
+
+def pruned_scan(
+    prepared: PreparedIndex,
+    y: np.ndarray,
+    seeds: Iterable[int],
+    *,
+    k: Optional[int] = None,
+    threshold: Optional[float] = None,
+    total_mass: float,
+    schedule=None,
+) -> ScanResult:
+    """Run one pruned scan over the prepared index.
+
+    Parameters
+    ----------
+    prepared:
+        The query-invariant state (:class:`PreparedIndex`).
+    y:
+        Dense workspace holding the (weighted) scatter of ``L^-1``
+        seed columns, in permuted coordinates.
+    seeds:
+        Nodes with the trivial bound 1 — the restart set.  In lazy mode
+        they are also the layer-0 BFS sources.
+    k:
+        Top-k stopping rule: maintain a k-heap, θ = its minimum.
+        Exactly one of ``k`` / ``threshold`` must be given.
+    threshold:
+        Fixed stopping rule: θ is this constant; every node with
+        proximity ≥ θ is selected.
+    total_mass:
+        Exact total proximity mass ``S`` of the seed set (feeds the
+        bound's ``t3`` term; see the estimator notes).
+    schedule:
+        ``None`` for the lazy BFS frontier, or an object with
+        ``layer_groups()`` / ``n_scheduled`` (a ``BFSTree``) for a fixed
+        visit order.
+    """
+    if (k is None) == (threshold is None):
+        raise InvalidParameterError(
+            "pruned_scan requires exactly one of k= or threshold="
+        )
+
+    n = prepared.n
+    position = prepared.position
+    succ_lists = prepared.succ_lists
+    uinv_indptr = prepared.uinv_indptr
+    uinv_indices = prepared.uinv_indices
+    uinv_data = prepared.uinv_data
+    amax_col = prepared.amax_col
+    amax = prepared.amax
+    c = prepared.c
+    c_prime = prepared.c_prime
+    total_mass = float(total_mass)
+
+    unit_bound = frozenset(int(s) for s in seeds)
+    if not unit_bound:
+        raise InvalidParameterError("pruned_scan requires a non-empty seed set")
+
+    use_heap = k is not None
+    if use_heap:
+        # Candidate heap primed with K dummies of proximity 0 (Algorithm 4
+        # line 4); ties broken by visit sequence, which only affects which
+        # equal-proximity node is evicted, never correctness.
+        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
+        heapq.heapify(heap)
+        heapreplace = heapq.heapreplace
+        theta = 0.0
+        answers: List[Tuple[int, float]] = []
+    else:
+        heap = []
+        heapreplace = None
+        theta = float(threshold)
+        answers = []
+
+    # The Definition 2 state machine (the class-based ProximityEstimator
+    # realises the same recurrences and is what unit tests verify):
+    #   t1 = sum of p_v*Amax(v) over selected nodes one layer up,
+    #   t2 = same over selected nodes on the current layer,
+    #   t3 = (total_mass - selected mass) * Amax.
+    t1 = 0.0
+    t2 = 0.0
+    selected_mass = 0.0
+    n_visited = 0
+    n_computed = 0
+    n_skipped = 0
+    terminated_early = False
+    sequence = 0
+    pending_seeds = len(unit_bound)
+
+    lazy = schedule is None
+    if lazy:
+        frontier: List[int] = sorted(unit_bound)
+        seen = bytearray(n)
+        for s in frontier:
+            seen[s] = 1
+        layer_source = None
+    else:
+        frontier = []
+        seen = bytearray(0)
+        layer_source = schedule.layer_groups()
+
+    prev_layer = -1
+    stop = False
+    while not stop:
+        if lazy:
+            if not frontier:
+                break
+            nodes = frontier
+            this_layer = prev_layer + 1
+        else:
+            try:
+                this_layer, nodes = next(layer_source)
+            except StopIteration:
+                break
+        # Layer advance: own-layer sum becomes the layer-above sum
+        # (Definition 2's shift case); a skipped layer resets both terms
+        # (no selected node can sit one layer above).
+        if this_layer == prev_layer + 1:
+            t1 = t2
+            t2 = 0.0
+        elif this_layer > prev_layer + 1:
+            t1 = 0.0
+            t2 = 0.0
+        prev_layer = this_layer
+
+        next_frontier: List[int] = []
+        for node in nodes:
+            n_visited += 1
+            if node in unit_bound:
+                pending_seeds -= 1
+            else:
+                bound = c_prime * (t1 + t2 + (total_mass - selected_mass) * amax)
+                if bound < theta:
+                    if pending_seeds:
+                        # A seed (bound 1) is still ahead in the fixed
+                        # schedule: skip this node only.
+                        n_skipped += 1
+                        continue
+                    # Lemma 2: every later node is bounded below theta
+                    # as well -> stop outright.
+                    terminated_early = True
+                    stop = True
+                    break
+            pos = position[node]
+            lo, hi = uinv_indptr[pos], uinv_indptr[pos + 1]
+            proximity = c * (uinv_data[lo:hi] @ y[uinv_indices[lo:hi]])
+            n_computed += 1
+            t2 += proximity * amax_col[node]
+            selected_mass += proximity
+            if use_heap:
+                if proximity > theta:
+                    sequence += 1
+                    heapreplace(heap, (proximity, sequence, node))
+                    theta = heap[0][0]
+            elif proximity >= theta:
+                answers.append((node, proximity))
+            if lazy:
+                for child in succ_lists[node]:
+                    if not seen[child]:
+                        seen[child] = 1
+                        next_frontier.append(child)
+        if lazy:
+            frontier = next_frontier
+
+    if use_heap:
+        items = tuple((node, p) for p, _, node in heap if node >= 0)
+    else:
+        items = tuple(answers)
+
+    if lazy:
+        # Undiscovered nodes were never scheduled: pruning saved n - visited.
+        n_pruned = n - n_visited
+    else:
+        n_pruned = n_skipped
+        if terminated_early:
+            # The terminating node plus the untouched tail of the schedule.
+            n_pruned += 1 + (schedule.n_scheduled - n_visited)
+
+    return ScanResult(
+        items=items,
+        n_visited=n_visited,
+        n_computed=n_computed,
+        n_pruned=n_pruned,
+        terminated_early=terminated_early,
+    )
+
+
+def scan_to_topk(query: int, k: int, n: int, scan: ScanResult) -> TopKResult:
+    """Rank, truncate and pad a top-k :class:`ScanResult` into a result."""
+    ranked, padded = pad_items(rank_items(scan.items, k), k, n)
+    return TopKResult(
+        query=query,
+        k=k,
+        items=ranked,
+        n_visited=scan.n_visited,
+        n_computed=scan.n_computed,
+        n_pruned=scan.n_pruned,
+        terminated_early=scan.terminated_early,
+        padded=padded,
+    )

@@ -47,6 +47,35 @@ class TestBuildAndQuery:
         with pytest.raises(SystemExit):
             main(["build", "--output", "x.npz"])
 
+    def test_batch_query(self, tmp_path, capsys):
+        index_path = str(tmp_path / "internet.npz")
+        assert main([
+            "build", "--dataset", "Internet", "--scale", "0.1",
+            "--output", index_path,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", "--index", index_path, "--batch", "3,7,3,12", "--k", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 4 queries (k=4)" in out
+        assert "1 deduped" in out
+        assert out.count("node ") >= 4  # one line per input query, in order
+
+    def test_batch_rejects_garbage(self, tmp_path, capsys):
+        index_path = str(tmp_path / "internet.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--output", index_path])
+        capsys.readouterr()
+        assert main(["query", "--index", index_path, "--batch", "3,x"]) == 2
+        assert main(["query", "--index", index_path, "--batch", ","]) == 2
+
+    def test_node_and_batch_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--index", "x.npz", "--node", "1", "--batch", "2,3"])
+        with pytest.raises(SystemExit):
+            main(["query", "--index", "x.npz"])
+
 
 class TestExperimentCommand:
     def test_fig5_small(self, capsys):

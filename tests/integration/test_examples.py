@@ -36,6 +36,7 @@ class TestExamples:
         out = run_example("recommendation", capsys)
         assert "taste-group hit rate" in out
         assert "popularity-baseline hit rate" in out
+        assert "served a burst of 200 requests" in out
 
     def test_link_prediction(self, capsys):
         out = run_example("link_prediction", capsys)

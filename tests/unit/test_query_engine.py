@@ -1,0 +1,219 @@
+"""Unit tests for the serving layer (QueryEngine / QueryStats)."""
+
+import numpy as np
+import pytest
+
+from repro import KDash, QueryEngine
+from repro.exceptions import InvalidParameterError, NodeNotFoundError
+from repro.graph import erdos_renyi_graph
+
+
+@pytest.fixture
+def index(er_graph):
+    return KDash(er_graph, c=0.9).build()
+
+
+@pytest.fixture
+def engine(index):
+    return QueryEngine(index)
+
+
+class TestConstruction:
+    def test_builds_unbuilt_index(self, er_graph):
+        raw = KDash(er_graph, c=0.9)
+        engine = QueryEngine(raw)
+        assert raw.is_built
+        assert engine.top_k(0, 3).k == 3
+
+    def test_invalid_cache_size(self, index):
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(index, cache_size=-1)
+
+
+class TestTopKMany:
+    def test_matches_single_calls_in_order(self, engine, index):
+        queries = [0, 5, 9, 5, 0]
+        results = engine.top_k_many(queries, k=4)
+        assert len(results) == len(queries)
+        for q, result in zip(queries, results):
+            assert result.items == index.top_k(q, 4).items
+            assert result.query == q
+
+    def test_deduplicates_within_batch(self, engine):
+        engine.top_k_many([7, 7, 7, 8], k=3)
+        stats = engine.last_stats
+        assert stats.n_queries == 4
+        assert stats.dedup_hits == 2
+        assert stats.executed == 2
+
+    def test_cache_hits_across_calls(self, engine):
+        engine.top_k_many([1, 2], k=3)
+        engine.top_k_many([1, 2, 3], k=3)
+        stats = engine.last_stats
+        assert stats.cache_hits == 2
+        assert stats.executed == 1
+
+    def test_cached_results_identical(self, engine):
+        first = engine.top_k_many([4], k=5)[0]
+        second = engine.top_k_many([4], k=5)[0]
+        assert first is second  # cached TopKResult objects are immutable
+
+    def test_workspace_reuse_no_crosstalk(self, engine, index):
+        # Interleaved distinct queries must not contaminate each other
+        # through the shared dense workspace.
+        queries = list(range(20)) + list(range(19, -1, -1))
+        results = engine.top_k_many(queries, k=5)
+        for q, result in zip(queries, results):
+            expected = index.top_k(q, 5)
+            assert result.items == expected.items
+
+    def test_empty_batch(self, engine):
+        assert engine.top_k_many([], k=3) == []
+        assert engine.last_stats.n_queries == 0
+
+    def test_invalid_query_rejected(self, engine):
+        with pytest.raises(NodeNotFoundError):
+            engine.top_k_many([0, 9999], k=3)
+
+    def test_k_varies_cache_key(self, engine):
+        a = engine.top_k_many([3], k=2)[0]
+        b = engine.top_k_many([3], k=4)[0]
+        assert len(a.items) == 2
+        assert len(b.items) == 4
+
+
+class TestSingleCallModes:
+    def test_top_k_cached(self, engine):
+        first = engine.top_k(6, 4)
+        second = engine.top_k(6, 4)
+        assert first is second
+        assert engine.last_stats.cache_hits == 1
+
+    def test_top_k_matches_index(self, engine, index):
+        assert engine.top_k(11, 5).items == index.top_k(11, 5).items
+
+    def test_ablations_pass_through_uncached(self, engine, index):
+        res = engine.top_k(3, 4, root=10)
+        assert res.items == index.top_k(3, 4, root=10).items
+        assert engine.last_stats.mode == "top_k_ablation"
+        res = engine.top_k(3, 4, prune=False)
+        assert res.items == index.top_k(3, 4, prune=False).items
+
+    def test_above_threshold(self, engine, index):
+        res = engine.above_threshold(2, 1e-4)
+        assert res.items == index.above_threshold(2, 1e-4).items
+        again = engine.above_threshold(2, 1e-4)
+        assert again is res
+
+    def test_personalized(self, engine, index):
+        restart = {3: 0.7, 11: 0.3}
+        res = engine.top_k_personalized(restart, 6)
+        assert res.items == index.top_k_personalized(restart, 6).items
+
+    def test_personalized_cache_normalises_weights(self, engine):
+        a = engine.top_k_personalized({3: 1.0, 11: 1.0}, 5)
+        b = engine.top_k_personalized({3: 10.0, 11: 10.0}, 5)
+        assert b is a  # same normalised restart vector -> cache hit
+
+    def test_personalized_invalid_still_raises(self, engine):
+        with pytest.raises(InvalidParameterError):
+            engine.top_k_personalized({}, 5)
+        with pytest.raises(InvalidParameterError):
+            engine.top_k_personalized({0: -1.0}, 5)
+
+    def test_cache_never_masks_invalid_query(self, engine):
+        # A float query must raise even when the coerced key is cached.
+        engine.above_threshold(2, 1e-3)
+        with pytest.raises(InvalidParameterError):
+            engine.above_threshold(2.7, 1e-3)
+        engine.top_k_personalized({2: 1.0}, 5)
+        with pytest.raises(InvalidParameterError):
+            engine.top_k_personalized({2.7: 1.0}, 5)
+
+
+class TestCachePolicy:
+    def test_lru_eviction_bounded(self, index):
+        engine = QueryEngine(index, cache_size=2)
+        for q in (0, 1, 2, 3):
+            engine.top_k(q, 3)
+        current, capacity = engine.cache_info()
+        assert capacity == 2
+        assert current <= 2
+
+    def test_lru_recency(self, index):
+        engine = QueryEngine(index, cache_size=2)
+        r0 = engine.top_k(0, 3)
+        engine.top_k(1, 3)
+        engine.top_k(0, 3)  # refresh 0
+        engine.top_k(2, 3)  # evicts 1, not 0
+        assert engine.top_k(0, 3) is r0
+
+    def test_cache_disabled(self, index):
+        engine = QueryEngine(index, cache_size=0)
+        a = engine.top_k(5, 3)
+        b = engine.top_k(5, 3)
+        assert a is not b
+        assert a.items == b.items
+        assert engine.cache_info() == (0, 0)
+
+    def test_clear_cache(self, engine):
+        engine.top_k(0, 3)
+        engine.clear_cache()
+        assert engine.cache_info()[0] == 0
+
+
+class TestStats:
+    def test_per_call_record(self, engine):
+        engine.top_k_many([0, 0, 1], k=3)
+        stats = engine.last_stats
+        assert stats.mode == "top_k_many"
+        assert stats.seconds >= 0.0
+        assert stats.n_computed > 0
+        assert stats.queries_per_second > 0.0
+
+    def test_lifetime_aggregates(self, engine):
+        engine.top_k(0, 3)
+        engine.top_k(0, 3)
+        engine.top_k_many([0, 1], k=3)
+        agg = engine.stats
+        assert agg.calls == 3
+        assert agg.queries_served == 4
+        # Second single call and the batched 0 hit the cache.
+        assert agg.cache_hits == 2
+        assert 0.0 < agg.hit_rate < 1.0
+        as_dict = agg.as_dict()
+        assert as_dict["by_mode"]["top_k"] == 2
+        assert as_dict["by_mode"]["top_k_many"] == 1
+
+    def test_history_bounded(self, index):
+        engine = QueryEngine(index, history_size=3)
+        for q in range(6):
+            engine.top_k(q, 2)
+        assert len(engine.history) == 3
+
+    def test_history_disabled(self, index):
+        engine = QueryEngine(index, history_size=0)
+        engine.top_k(0, 2)
+        assert len(engine.history) == 0
+        assert engine.stats.calls == 1  # aggregates still recorded
+
+    def test_reset(self, engine):
+        engine.top_k(0, 3)
+        engine.reset_stats()
+        assert engine.stats.calls == 0
+        assert engine.last_stats is None
+        assert len(engine.history) == 0
+
+
+class TestEngineExactness:
+    def test_batch_matches_brute_force(self):
+        graph = erdos_renyi_graph(45, 0.08, seed=99)
+        index = KDash(graph, c=0.95).build()
+        engine = QueryEngine(index)
+        results = engine.top_k_many(list(range(45)), k=6)
+        for q, result in zip(range(45), results):
+            exact = index.proximity_column(q)
+            expected = sorted(exact, reverse=True)[:6]
+            assert np.allclose(
+                sorted(result.proximities, reverse=True), expected, atol=1e-9
+            )
