@@ -1,13 +1,20 @@
 #!/usr/bin/env python
-"""Exact top-k search on a changing graph (DynamicKDash).
+"""Serving exact top-k search on a changing graph (QueryEngine + DynamicKDash).
 
 The paper's index is a one-time precomputation over a static graph.
 Real trust/collaboration networks change constantly, and rebuilding the
-index per edge is wasteful.  ``DynamicKDash`` absorbs edge insertions,
-deletions and re-weightings through exact low-rank (Woodbury)
-corrections: queries remain *exact* at every moment, and a periodic
-``rebuild()`` flattens the accumulated updates to restore the pruned
-fast path.
+index per edge is wasteful.  This example drives the full dynamic
+serving loop through one :class:`~repro.query.engine.QueryEngine`
+handle:
+
+1. serve queries from the pruned fast path (and its LRU cache);
+2. push a batch of edge updates through ``engine.apply_updates`` — the
+   epoch bumps and the cache is invalidated atomically;
+3. keep serving: queries transparently switch to the exact low-rank
+   (Woodbury) corrected path, verified here against a direct solver;
+4. let the :class:`~repro.query.engine.RebuildPolicy` flatten the
+   accumulated updates into a fresh index once the correction rank
+   grows, restoring the fast path — same handle, zero downtime.
 
 Run with::
 
@@ -16,15 +23,14 @@ Run with::
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro import DynamicKDash, direct_solve_rwr
+from repro import DynamicKDash, QueryEngine, RebuildPolicy, direct_solve_rwr
 from repro.graph import column_normalized_adjacency, scale_free_digraph
 
 
-def verify_exact(dyn: DynamicKDash, query: int) -> None:
+def verify_exact(engine: QueryEngine, query: int) -> None:
+    dyn = engine.dynamic
     expected = direct_solve_rwr(
         column_normalized_adjacency(dyn.graph), query, dyn.c
     )
@@ -32,53 +38,75 @@ def verify_exact(dyn: DynamicKDash, query: int) -> None:
     assert np.allclose(got, expected, atol=1e-8), "dynamic index drifted!"
 
 
-def main() -> None:
-    rng = np.random.default_rng(7)
-    graph = scale_free_digraph(1_500, 6_000, seed=7)
-    dyn = DynamicKDash(graph, c=0.95, rebuild_threshold=None)
-    query = 11
-
-    result = dyn.top_k(query, 5)
-    print(f"t=0 (clean index)      top-5: {result.nodes}  "
-          f"computed {result.n_computed}/{graph.n_nodes}")
-
-    # A stream of trust events: new edges, revoked edges, weight changes.
-    events = []
-    for step in range(12):
-        u, v = int(rng.integers(1_500)), int(rng.integers(1_500))
+def random_batch(rng, graph, size: int):
+    """A small burst of trust events: new edges, revoked edges."""
+    inserts, deletes = [], []
+    n = graph.n_nodes
+    while len(inserts) + len(deletes) < size:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
         if u == v:
             continue
-        if dyn.graph.has_edge(u, v) and step % 3 == 0:
-            dyn.remove_edge(u, v)
-            events.append(f"remove {u}->{v}")
-        else:
-            dyn.add_edge(u, v, float(rng.integers(1, 4)))
-            events.append(f"add {u}->{v}")
-    print(f"\napplied {len(events)} edge events "
-          f"({dyn.n_pending_columns} transition columns touched):")
-    for event in events[:5]:
-        print(f"  {event}")
-    print("  ...")
+        if graph.has_edge(u, v) and rng.random() < 0.3:
+            deletes.append((u, v))
+        elif not graph.has_edge(u, v):
+            inserts.append((u, v, float(rng.integers(1, 4))))
+    return inserts, deletes
 
-    t0 = time.perf_counter()
-    result = dyn.top_k(query, 5)
-    corrected_ms = (time.perf_counter() - t0) * 1e3
-    verify_exact(dyn, query)
-    print(f"\nt=1 (pending updates)  top-5: {result.nodes}  "
-          f"[exact via Woodbury correction, {corrected_ms:.2f} ms/query]")
 
-    t0 = time.perf_counter()
-    dyn.rebuild()
-    rebuild_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    result = dyn.top_k(query, 5)
-    pruned_ms = (time.perf_counter() - t0) * 1e3
-    verify_exact(dyn, query)
-    print(f"t=2 (after rebuild)    top-5: {result.nodes}  "
-          f"[pruned search restored, {pruned_ms:.2f} ms/query; "
-          f"rebuild took {rebuild_s:.2f}s]")
+def main() -> None:
+    rng = np.random.default_rng(7)
+    graph = scale_free_digraph(1_200, 5_000, seed=7)
+    dyn = DynamicKDash(graph, c=0.95, rebuild_threshold=None)
+    engine = QueryEngine(dyn, rebuild_policy=RebuildPolicy(max_rank=8))
+    query = 11
 
-    print("\nexactness verified against the direct solver at every stage")
+    # -- t=0: clean index, pruned fast path -----------------------------
+    result = engine.top_k(query, 5)
+    print(f"t=0 (clean index)      top-5: {result.nodes}  "
+          f"computed {result.n_computed}/{graph.n_nodes}, "
+          f"epoch {engine.epoch}")
+    assert engine.top_k(query, 5) is result
+    print(f"                       repeat query served from cache "
+          f"({engine.cache_info()[0]} entries)")
+
+    # -- t=1: one update batch, exact corrected serving -----------------
+    inserts, deletes = random_batch(rng, dyn.graph, 6)
+    report = engine.apply_updates(inserts, deletes)
+    print(f"\nt=1 applied batch of +{report.n_inserted}/-{report.n_deleted} "
+          f"edges in {report.seconds * 1e3:.2f} ms: epoch {engine.epoch}, "
+          f"correction rank {report.pending_rank}, "
+          f"cache invalidated ({engine.cache_info()[0]} entries)")
+    result = engine.top_k(query, 5)
+    stats = engine.last_stats
+    verify_exact(engine, query)
+    print(f"t=1 (pending updates)  top-5: {result.nodes}  "
+          f"[corrected={stats.corrected}, exact via Woodbury, "
+          f"{stats.seconds * 1e3:.2f} ms]")
+
+    # -- t=2..: keep updating until the rebuild policy fires ------------
+    batches = 0
+    while engine.stats.rebuilds == 0:
+        inserts, deletes = random_batch(rng, dyn.graph, 3)
+        report = engine.apply_updates(inserts, deletes)
+        batches += 1
+    print(f"\nt=2 after {batches} more batches the policy rebuilt the index "
+          f"(rank limit {engine.rebuild_policy.max_rank}): "
+          f"pending rank {dyn.n_pending_columns}, "
+          f"rebuilds {engine.stats.rebuilds}")
+
+    result = engine.top_k(query, 5)
+    stats = engine.last_stats
+    verify_exact(engine, query)
+    print(f"t=2 (fresh fast path)  top-5: {result.nodes}  "
+          f"[corrected={stats.corrected}, computed "
+          f"{result.n_computed}/{graph.n_nodes}, {stats.seconds * 1e3:.2f} ms]")
+
+    agg = engine.stats
+    print(f"\nengine lifetime: {agg.queries_served} queries, "
+          f"{agg.updates_applied} edge updates in {agg.update_batches} batches, "
+          f"{agg.invalidations} cache invalidations, {agg.rebuilds} rebuild, "
+          f"{agg.corrected_queries} corrected scans")
+    print("exactness verified against the direct solver at every stage")
 
 
 if __name__ == "__main__":

@@ -25,7 +25,7 @@ Package map (see DESIGN.md for the full inventory):
 """
 
 from .baselines import BasicPushAlgorithm, BLin, IterativeRWR, LocalRWR, NBLin
-from .core import DynamicKDash, KDash, TopKResult, load_index, save_index
+from .core import DynamicKDash, KDash, TopKResult, UpdateReport, load_index, save_index
 from .exceptions import (
     ConvergenceError,
     DecompositionError,
@@ -38,7 +38,7 @@ from .exceptions import (
     SparseMatrixError,
 )
 from .graph import DiGraph
-from .query import QueryEngine, QueryStats
+from .query import QueryEngine, QueryStats, RebuildPolicy
 from .rwr import direct_solve_rwr, power_iteration_rwr, top_k_from_vector
 
 __version__ = "1.0.0"
@@ -46,8 +46,10 @@ __version__ = "1.0.0"
 __all__ = [
     "KDash",
     "DynamicKDash",
+    "UpdateReport",
     "QueryEngine",
     "QueryStats",
+    "RebuildPolicy",
     "TopKResult",
     "save_index",
     "load_index",

@@ -13,6 +13,15 @@ Commands
     a batched request (``--batch 3,7,3,12``) served through the
     :class:`~repro.query.engine.QueryEngine` (deduplication, shared
     workspace, result cache, throughput report).
+``update``
+    Apply a batch of edge insertions/deletions to a saved index via the
+    exact Woodbury correction, optionally run a verification query, and
+    optionally rebuild + re-save the index.
+``serve``
+    Run a mixed update/query operation stream (file or stdin) against a
+    saved index through the :class:`~repro.query.engine.QueryEngine` —
+    the update-then-serve loop of a living graph, with a configurable
+    rebuild policy.
 ``experiment``
     Run a single paper experiment (fig2 ... table2, restart_sweep) and
     print its table.
@@ -26,7 +35,22 @@ Examples
     python -m repro.cli build --dataset Citation --output citation.npz
     python -m repro.cli query --index citation.npz --node 5 --k 10
     python -m repro.cli query --index citation.npz --batch 5,9,5,12 --k 10
+    python -m repro.cli update --index citation.npz --add 0:5:2.0,3:4 \\
+        --remove 1:2 --node 5 --output citation-v2.npz
+    python -m repro.cli serve --index citation.npz --ops ops.txt --max-rank 32
     python -m repro.cli experiment --name fig7 --scale 0.5
+
+``serve`` operation files hold one operation per line (``#`` comments
+allowed)::
+
+    add 0 5 2.0
+    remove 1 2
+    query 5 10
+    batch 3,7,3,12 10
+    rebuild
+
+Consecutive ``add``/``remove`` lines are flushed as **one** update batch
+(one epoch, one cache invalidation) when the next query arrives.
 """
 
 from __future__ import annotations
@@ -136,6 +160,204 @@ def _run_batch_query(index, args) -> int:
     return 0
 
 
+def _parse_edges(spec: str, allow_weight: bool):
+    """Parse comma-separated ``u:v`` / ``u:v:w`` edge specs; None on error."""
+    edges = []
+    for tok in spec.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        parts = tok.split(":")
+        try:
+            if allow_weight and len(parts) == 3:
+                edges.append((int(parts[0]), int(parts[1]), float(parts[2])))
+            elif len(parts) == 2:
+                edges.append((int(parts[0]), int(parts[1])))
+            else:
+                return None
+        except ValueError:
+            return None
+    return edges
+
+
+def _print_topk(result, graph, header: str) -> None:
+    print(header)
+    for rank, (node, proximity) in enumerate(result.items, start=1):
+        print(f"  {rank:3d}. {graph.label_of(node):30s} {proximity:.8f}")
+
+
+def _cmd_update(args) -> int:
+    """The ``update`` path: batched exact edge updates on a saved index."""
+    from .core import DynamicKDash
+    from .exceptions import GraphError
+    from .query import QueryEngine
+
+    inserts = _parse_edges(args.add, allow_weight=True) if args.add else []
+    deletes = _parse_edges(args.remove, allow_weight=False) if args.remove else []
+    if inserts is None or deletes is None:
+        print("error: edge specs are comma-separated u:v (deletes) or u:v[:w] (inserts)")
+        return 2
+    if not inserts and not deletes:
+        print("error: update needs at least one --add or --remove edge")
+        return 2
+    index = load_index(args.index)
+    engine = QueryEngine(DynamicKDash.from_index(index, rebuild_threshold=None))
+    try:
+        report = engine.apply_updates(inserts, deletes)
+    except GraphError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"applied {report.n_inserted} inserts, {report.n_deleted} deletes "
+        f"in {report.seconds * 1e3:.2f} ms "
+        f"(correction rank {report.pending_rank}, epoch {engine.epoch})"
+    )
+    if args.node is not None:
+        result = engine.top_k(args.node, args.k)
+        _print_topk(
+            result,
+            engine.dynamic.graph,
+            f"top-{args.k} for node {args.node} (exact under pending updates):",
+        )
+    if args.output:
+        engine.rebuild()
+        save_index(engine.index, args.output)
+        print(f"rebuilt (pruned fast path restored) and saved to {args.output}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """The ``serve`` path: a mixed update/query stream through the engine."""
+    import time
+
+    from .core import DynamicKDash
+    from .exceptions import GraphError, NodeNotFoundError
+    from .query import QueryEngine, RebuildPolicy
+
+    index = load_index(args.index)
+    policy = RebuildPolicy(max_rank=args.max_rank, max_slowdown=args.max_slowdown)
+    engine = QueryEngine(
+        DynamicKDash.from_index(index, rebuild_threshold=None),
+        cache_size=args.cache_size,
+        rebuild_policy=policy,
+    )
+    graph = engine.dynamic.graph
+
+    if args.ops == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.ops) as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            print(f"error: cannot read ops file: {exc}")
+            return 2
+
+    pending_inserts: List[tuple] = []
+    pending_deletes: List[tuple] = []
+    pending_lines: List[int] = []
+
+    def flush() -> Optional[str]:
+        """Apply buffered updates as one batch; error text on failure."""
+        if not pending_inserts and not pending_deletes:
+            return None
+        first_line = pending_lines[0]
+        try:
+            report = engine.apply_updates(pending_inserts, pending_deletes)
+        except GraphError as exc:
+            return f"line {first_line}: {exc}"
+        finally:
+            pending_inserts.clear()
+            pending_deletes.clear()
+            pending_lines.clear()
+        tail = " -> rebuilt" if report.rebuilt else ""
+        print(
+            f"[epoch {engine.epoch}] applied batch: "
+            f"+{report.n_inserted}/-{report.n_deleted} edges, "
+            f"correction rank {report.pending_rank}{tail}"
+        )
+        return None
+
+    t_start = time.perf_counter()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        op, rest = parts[0], parts[1:]
+        try:
+            if op == "add" and len(rest) in (2, 3):
+                u, v = int(rest[0]), int(rest[1])
+                w = float(rest[2]) if len(rest) == 3 else 1.0
+                pending_inserts.append((u, v, w))
+                pending_lines.append(lineno)
+            elif op == "remove" and len(rest) == 2:
+                pending_deletes.append((int(rest[0]), int(rest[1])))
+                pending_lines.append(lineno)
+            elif op == "query" and len(rest) in (1, 2):
+                error = flush()
+                if error is not None:
+                    print(f"error: {error}")
+                    return 2
+                k = int(rest[1]) if len(rest) == 2 else args.k
+                result = engine.top_k(int(rest[0]), k)
+                stats = engine.last_stats
+                path = "corrected" if stats.corrected else (
+                    "cached" if stats.cache_hits else "pruned"
+                )
+                top_node, top_p = result.items[0]
+                print(
+                    f"query {rest[0]:>6s} top-{k}: {graph.label_of(top_node)} "
+                    f"{top_p:.8f}  [{path}, epoch {stats.epoch}, "
+                    f"rank {stats.pending_rank}]"
+                )
+            elif op == "batch" and len(rest) in (1, 2):
+                error = flush()
+                if error is not None:
+                    print(f"error: {error}")
+                    return 2
+                k = int(rest[1]) if len(rest) == 2 else args.k
+                queries = [int(tok) for tok in rest[0].split(",") if tok.strip()]
+                engine.top_k_many(queries, k)
+                stats = engine.last_stats
+                path = "corrected" if stats.corrected else "pruned"
+                print(
+                    f"batch of {stats.n_queries} queries: "
+                    f"{stats.queries_per_second:,.0f} q/s, "
+                    f"{stats.executed} scans, {stats.dedup_hits} deduped, "
+                    f"{stats.cache_hits} cache hits  [{path}]"
+                )
+            elif op == "rebuild" and not rest:
+                error = flush()
+                if error is not None:
+                    print(f"error: {error}")
+                    return 2
+                engine.rebuild()
+                print(f"[epoch {engine.epoch}] forced rebuild (#{engine.stats.rebuilds})")
+            else:
+                print(f"error: line {lineno}: unrecognised operation {line!r}")
+                return 2
+        except (GraphError, NodeNotFoundError, ValueError) as exc:
+            print(f"error: line {lineno}: {exc}")
+            return 2
+    error = flush()
+    if error is not None:
+        print(f"error: {error}")
+        return 2
+    total = time.perf_counter() - t_start
+
+    agg = engine.stats
+    print(
+        f"served {agg.queries_served} queries / "
+        f"{agg.updates_applied} edge updates in {total:.2f}s: "
+        f"{agg.update_batches} update batches, {agg.invalidations} cache "
+        f"invalidations, {agg.rebuilds} rebuilds, "
+        f"{agg.corrected_queries} corrected scans, "
+        f"hit rate {agg.hit_rate:.2f}"
+    )
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from .eval import experiments
     from .eval.harness import ExperimentContext
@@ -195,6 +417,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--k", type=int, default=5)
     p_query.set_defaults(func=_cmd_query)
+
+    p_update = sub.add_parser(
+        "update", help="apply exact edge updates to a saved index"
+    )
+    p_update.add_argument("--index", required=True)
+    p_update.add_argument(
+        "--add", help="comma-separated u:v[:w] edge insertions (weight defaults to 1)"
+    )
+    p_update.add_argument("--remove", help="comma-separated u:v edge deletions")
+    p_update.add_argument(
+        "--node", type=int, help="run a verification top-k query after the batch"
+    )
+    p_update.add_argument("--k", type=int, default=5)
+    p_update.add_argument(
+        "--output",
+        help="rebuild after the batch and save the fresh index here",
+    )
+    p_update.set_defaults(func=_cmd_update)
+
+    p_serve = sub.add_parser(
+        "serve", help="run a mixed update/query stream against a saved index"
+    )
+    p_serve.add_argument("--index", required=True)
+    p_serve.add_argument(
+        "--ops",
+        required=True,
+        help="operations file ('-' for stdin): add/remove/query/batch/rebuild lines",
+    )
+    p_serve.add_argument("--k", type=int, default=5, help="default k for query lines")
+    p_serve.add_argument("--cache-size", type=int, default=1024)
+    p_serve.add_argument(
+        "--max-rank",
+        type=int,
+        default=64,
+        help="rebuild once the correction rank reaches this (policy trigger)",
+    )
+    p_serve.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        help="rebuild once corrected queries are this many times slower than clean ones",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="run one paper experiment")
     p_exp.add_argument("--name", required=True, choices=_EXPERIMENTS)

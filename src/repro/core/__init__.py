@@ -17,7 +17,7 @@ which also provides the batched serving layer
 """
 
 from .bfs_tree import BFSTree
-from .dynamic import DynamicKDash
+from .dynamic import DynamicKDash, UpdateReport
 from .estimator import ProximityEstimator
 from .index_io import load_index, save_index
 from .kdash import KDash
@@ -26,6 +26,7 @@ from .topk import TopKResult
 __all__ = [
     "KDash",
     "DynamicKDash",
+    "UpdateReport",
     "ProximityEstimator",
     "BFSTree",
     "TopKResult",

@@ -46,7 +46,14 @@ from ..query.kernel import pruned_scan, scan_to_topk
 from ..query.prepared import PreparedIndex
 from ..sparse import sparse_column_max
 from ..sparse.csc import CSCMatrix
-from ..validation import check_choice, check_k, check_node_id, check_restart_probability
+from ..validation import (
+    check_choice,
+    check_k,
+    check_node_id,
+    check_restart_probability,
+    check_restart_set,
+    check_threshold,
+)
 from .bfs_tree import BFSTree
 from .topk import TopKResult, pad_items, rank_items
 
@@ -374,16 +381,10 @@ class KDash:
             ``items`` holds **all** qualifying nodes (``k`` is set to the
             answer size); never padded.
         """
-        from ..exceptions import InvalidParameterError
-
         self._require_built()
         n = self.graph.n_nodes
         query = check_node_id(query, n, "query")
-        threshold = float(threshold)
-        if not (threshold > 0.0) or not np.isfinite(threshold):
-            raise InvalidParameterError(
-                f"threshold must be a positive finite float, got {threshold!r}"
-            )
+        threshold = check_threshold(threshold)
         y = self._query_workspace(query)
         scan = pruned_scan(
             self._prepared,
@@ -434,28 +435,14 @@ class KDash:
             ``result.query`` holds the smallest seed id (the full seed
             set is not representable in the scalar field).
         """
-        from ..exceptions import InvalidParameterError
-
         n = self.graph.n_nodes
         self._require_built()
         k = check_k(k)
-        if not restart:
-            raise InvalidParameterError("restart set must not be empty")
-        seeds = {}
-        for node, weight in dict(restart).items():
-            node = check_node_id(node, n, "restart node")
-            weight = float(weight)
-            if not (weight > 0.0) or not np.isfinite(weight):
-                raise InvalidParameterError(
-                    f"restart weight for node {node} must be positive, got {weight!r}"
-                )
-            seeds[node] = weight
-        total_weight = sum(seeds.values())
+        shares = check_restart_set(restart, n)
 
         # y = sum_i w_i * L^-1[:, pos_i]  (the multi-column scatter);
         # every seed gets the trivial bound 1 and all seeds form layer 0
         # of the lazy multi-source BFS.
-        shares = {node: weight / total_weight for node, weight in seeds.items()}
         y, total_mass = self._prepared.seed_workspace(shares)
         scan = pruned_scan(
             self._prepared,
@@ -464,7 +451,7 @@ class KDash:
             k=k,
             total_mass=total_mass,
         )
-        result = scan_to_topk(min(seeds), k, n, scan)
+        result = scan_to_topk(min(shares), k, n, scan)
         return result
 
     def top_k_batch(

@@ -9,14 +9,18 @@ Layering (bottom up):
   stopping rule (every public query mode of
   :class:`~repro.core.kdash.KDash` is a thin adapter over it);
 - :mod:`repro.query.engine` — :class:`QueryEngine`, the batched /
-  cached / observable serving surface;
+  cached / observable serving surface, now mutable: it serves
+  :class:`~repro.core.dynamic.DynamicKDash` graphs with per-update-batch
+  epochs, atomic cache invalidation and a :class:`RebuildPolicy` that
+  decides when to swap in a freshly built index;
 - :mod:`repro.query.stats` — :class:`QueryStats` (per call) and
-  :class:`EngineStats` (lifetime aggregates).
+  :class:`EngineStats` (lifetime aggregates), both epoch/staleness
+  aware.
 """
 
 from .kernel import ScanResult, pruned_scan, scan_to_topk
 from .prepared import PreparedIndex
-from .engine import QueryEngine
+from .engine import QueryEngine, RebuildPolicy
 from .stats import EngineStats, QueryStats
 
 __all__ = [
@@ -25,6 +29,7 @@ __all__ = [
     "scan_to_topk",
     "ScanResult",
     "QueryEngine",
+    "RebuildPolicy",
     "QueryStats",
     "EngineStats",
 ]

@@ -2,21 +2,30 @@
 
 :class:`QueryEngine` is the surface the CLI, the examples and future
 sharding/async work build on.  It owns one built
-:class:`~repro.core.kdash.KDash` index and adds what a query *server*
-needs on top of a query *algorithm*:
+:class:`~repro.core.kdash.KDash` index — or, for a **living graph**, a
+:class:`~repro.core.dynamic.DynamicKDash` wrapper — and adds what a
+query *server* needs on top of a query *algorithm*:
 
 - **batching** — :meth:`top_k_many` runs many queries against one reused
   dense workspace (cleared in O(nnz of the seed column) between queries
   instead of reallocated in O(n)), deduplicates repeated queries within
   the batch, and preserves input order in the output;
 - **caching** — an optional LRU result cache across calls; real traffic
-  is heavily skewed, and a K-dash result for a static index never goes
-  stale;
+  is heavily skewed, and a K-dash result never goes stale *within an
+  update epoch*;
 - **observability** — every call emits a :class:`QueryStats` record
-  (wall time, cache/dedup accounting, pruning counters) and folds into
-  the lifetime :class:`EngineStats`.
+  (wall time, cache/dedup accounting, pruning counters, epoch and
+  pending-update rank) and folds into the lifetime :class:`EngineStats`;
+- **mutability** — :meth:`apply_updates` pushes a batch of edge
+  insertions/deletions through the dynamic index, bumps the engine's
+  :attr:`epoch` and atomically invalidates the result cache.  While
+  updates are pending, every query mode transparently switches to the
+  exact Woodbury-corrected path; a :class:`RebuildPolicy` decides when
+  to flatten the accumulated updates into a freshly built index (a new
+  :class:`~repro.query.prepared.PreparedIndex` behind the same engine
+  handle), restoring the pruned fast path.
 
-All four query modes route through the same
+All static-path query modes route through the same
 :func:`~repro.query.kernel.pruned_scan` kernel the index itself uses, so
 engine answers are bit-identical to direct index calls.
 """
@@ -24,18 +33,83 @@ engine answers are bit-identical to direct index calls.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING, Deque, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.topk import TopKResult
+from ..exceptions import InvalidParameterError
 from ..validation import check_k, check_node_id, check_non_negative_int
 from .kernel import pruned_scan, scan_to_topk
 from .stats import EngineStats, QueryStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kdash uses the kernel)
+    from ..core.dynamic import DynamicKDash, UpdateReport
     from ..core.kdash import KDash
+
+# EWMA weight of the newest latency sample in the per-scan running
+# averages that feed RebuildPolicy.max_slowdown.
+_LATENCY_EWMA_ALPHA = 0.3
+
+
+@dataclass(frozen=True)
+class RebuildPolicy:
+    """When should a dynamic engine flatten pending updates?
+
+    Corrected queries are exact but exhaustive — their cost grows with
+    the correction rank and never benefits from pruning.  A rebuild costs
+    one full precomputation but restores the fast path.  This object
+    encodes the trade-off; the engine consults it after every update
+    batch and after every corrected query.
+
+    Attributes
+    ----------
+    max_rank:
+        Rebuild once the Woodbury correction rank (distinct updated
+        columns) reaches this value.  ``None`` disables the rank trigger.
+    max_slowdown:
+        Rebuild once the running average of corrected per-query seconds
+        exceeds ``max_slowdown ×`` the clean pruned per-query average.
+        Needs at least one clean and one corrected sample; ``None``
+        disables the latency trigger.
+
+    Examples
+    --------
+    >>> policy = RebuildPolicy(max_rank=8)
+    >>> policy.should_rebuild(pending_rank=3)
+    False
+    >>> policy.should_rebuild(pending_rank=8)
+    True
+    >>> latency = RebuildPolicy(max_rank=None, max_slowdown=10.0)
+    >>> latency.should_rebuild(3, corrected_seconds=0.05, clean_seconds=0.001)
+    True
+    """
+
+    max_rank: Optional[int] = 64
+    max_slowdown: Optional[float] = None
+
+    def should_rebuild(
+        self,
+        pending_rank: int,
+        corrected_seconds: Optional[float] = None,
+        clean_seconds: Optional[float] = None,
+    ) -> bool:
+        """Decide for the current pending rank and measured latencies."""
+        if pending_rank <= 0:
+            return False
+        if self.max_rank is not None and pending_rank >= self.max_rank:
+            return True
+        if (
+            self.max_slowdown is not None
+            and corrected_seconds is not None
+            and clean_seconds is not None
+            and clean_seconds > 0.0
+            and corrected_seconds >= self.max_slowdown * clean_seconds
+        ):
+            return True
+        return False
 
 
 class QueryEngine:
@@ -44,8 +118,10 @@ class QueryEngine:
     Parameters
     ----------
     index:
-        A :class:`~repro.core.kdash.KDash` instance; built on the spot
-        when :meth:`~repro.core.kdash.KDash.build` has not run yet.
+        A :class:`~repro.core.kdash.KDash` instance (built on the spot
+        when :meth:`~repro.core.kdash.KDash.build` has not run yet) or a
+        :class:`~repro.core.dynamic.DynamicKDash` for a graph that keeps
+        changing.
     cache_size:
         Maximum entries of the LRU result cache; ``0`` disables caching
         entirely.  Cached entries are the immutable ``TopKResult``
@@ -55,6 +131,11 @@ class QueryEngine:
     history_size:
         How many per-call :class:`QueryStats` records to retain in
         :attr:`history`.
+    rebuild_policy:
+        A :class:`RebuildPolicy` consulted after update batches and
+        corrected queries; only meaningful with a dynamic index
+        (rejected otherwise).  ``None`` leaves rebuilds to the caller
+        and to ``DynamicKDash.rebuild_threshold``.
 
     Examples
     --------
@@ -63,23 +144,166 @@ class QueryEngine:
     >>> engine = QueryEngine(KDash(star_graph(4), c=0.9))
     >>> [r.nodes[0] for r in engine.top_k_many([0, 1, 0], k=2)]
     [0, 1, 0]
+
+    Serving a living graph — updates bump the epoch and invalidate the
+    cache, queries stay exact throughout:
+
+    >>> from repro.core import DynamicKDash
+    >>> engine = QueryEngine(DynamicKDash(star_graph(4), c=0.9),
+    ...                      rebuild_policy=RebuildPolicy(max_rank=8))
+    >>> engine.top_k(1, 2).nodes[0]
+    1
+    >>> report = engine.apply_updates(inserts=[(1, 2)])
+    >>> (engine.epoch, report.pending_rank)
+    (1, 1)
+    >>> engine.top_k(1, 2).nodes[0]   # exact under the pending update
+    1
+    >>> engine.last_stats.corrected
+    True
     """
 
     def __init__(
         self,
-        index: "KDash",
+        index,
         cache_size: int = 1024,
         history_size: int = 64,
+        rebuild_policy: Optional[RebuildPolicy] = None,
     ) -> None:
-        if not index.is_built:
-            index.build()
-        self.index = index
+        # Duck-typed dynamic detection keeps the import graph acyclic
+        # (core.kdash itself imports this package).
+        if hasattr(index, "update_serial"):
+            self._dynamic: Optional["DynamicKDash"] = index
+            self._static_index: Optional["KDash"] = None
+            self._seen_serial = index.update_serial
+        else:
+            if not index.is_built:
+                index.build()
+            self._dynamic = None
+            self._static_index = index
+            self._seen_serial = 0
+        if rebuild_policy is not None and self._dynamic is None:
+            raise InvalidParameterError(
+                "rebuild_policy requires a DynamicKDash-backed engine"
+            )
+        self.rebuild_policy = rebuild_policy
         self.cache_size = check_non_negative_int(cache_size, "cache_size")
         history_size = check_non_negative_int(history_size, "history_size")
         self._cache: "OrderedDict[tuple, TopKResult]" = OrderedDict()
         self.history: Deque[QueryStats] = deque(maxlen=history_size)
         self.last_stats: Optional[QueryStats] = None
         self.stats = EngineStats()
+        self.epoch = 0
+        # Per-executed-scan wall-clock EWMAs feeding the latency trigger
+        # of RebuildPolicy.max_slowdown.
+        self._clean_seconds: Optional[float] = None
+        self._corrected_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Index plumbing
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> "KDash":
+        """The built index currently serving the fast path.
+
+        For a dynamic engine this is :attr:`DynamicKDash.base_index` —
+        a *new* object after every rebuild; hold the engine, not the
+        index.
+        """
+        if self._dynamic is not None:
+            return self._dynamic.base_index
+        return self._static_index
+
+    @property
+    def dynamic(self) -> Optional["DynamicKDash"]:
+        """The dynamic wrapper, or ``None`` on a static engine."""
+        return self._dynamic
+
+    def _pending_rank(self) -> int:
+        return self._dynamic.n_pending_columns if self._dynamic is not None else 0
+
+    def _sync_epoch(self) -> None:
+        """Observe mutations; atomically invalidate the cache per batch.
+
+        Called on entry of every query and update method.  Covers
+        mutations made through the engine *and* directly on the shared
+        ``DynamicKDash`` handle: any change of ``update_serial`` since
+        the last observation opens a new epoch and drops every cached
+        result in one step.
+        """
+        if self._dynamic is None:
+            return
+        serial = self._dynamic.update_serial
+        if serial != self._seen_serial:
+            self._seen_serial = serial
+            self.epoch += 1
+            self._cache.clear()
+            self.stats.invalidations += 1
+            self.stats.current_epoch = self.epoch
+        self.stats.rebuilds = self._dynamic.n_rebuilds
+
+    # ------------------------------------------------------------------
+    # Update surface
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        inserts: Iterable[tuple] = (),
+        deletes: Iterable[Tuple[int, int]] = (),
+    ) -> "UpdateReport":
+        """Apply one batch of edge updates through the dynamic index.
+
+        Bumps :attr:`epoch`, invalidates the whole result cache, folds
+        the batch into :class:`EngineStats`, and consults the
+        :attr:`rebuild_policy`.  See
+        :meth:`repro.core.dynamic.DynamicKDash.apply_updates` for the
+        batch semantics (deletes before inserts).
+
+        Returns
+        -------
+        UpdateReport
+            The batch report; ``rebuilt``/``pending_rank`` reflect any
+            policy-triggered rebuild.
+        """
+        if self._dynamic is None:
+            raise InvalidParameterError(
+                "apply_updates requires a DynamicKDash-backed engine"
+            )
+        report = self._dynamic.apply_updates(inserts, deletes)
+        self._sync_epoch()
+        self.stats.update_batches += 1
+        self.stats.updates_applied += report.n_inserted + report.n_deleted
+        if self._maybe_rebuild():
+            report = replace(
+                report, rebuilt=True, pending_rank=self._pending_rank()
+            )
+        return report
+
+    def rebuild(self) -> None:
+        """Force-flatten pending updates into a fresh index now.
+
+        Swaps a freshly built :class:`~repro.query.prepared.PreparedIndex`
+        in behind this engine handle.  Answers are unchanged, so cached
+        results stay valid and the epoch does not advance.
+        """
+        if self._dynamic is None:
+            raise InvalidParameterError(
+                "rebuild requires a DynamicKDash-backed engine"
+            )
+        self._dynamic.rebuild()
+        # The corrected-latency signal died with the old correction state.
+        self._corrected_seconds = None
+        self.stats.rebuilds = self._dynamic.n_rebuilds
+
+    def _maybe_rebuild(self) -> bool:
+        """Consult the policy; rebuild when it fires.  Returns True if so."""
+        if self._dynamic is None or self.rebuild_policy is None:
+            return False
+        rank = self._pending_rank()
+        if rank and self.rebuild_policy.should_rebuild(
+            rank, self._corrected_seconds, self._clean_seconds
+        ):
+            self.rebuild()
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -118,6 +342,7 @@ class QueryEngine:
         t_start: float,
         results: Sequence[TopKResult],
         executed_flags: Optional[Sequence[bool]] = None,
+        corrected: bool = False,
     ) -> None:
         """Build the per-call QueryStats record and fold the aggregates."""
         executed = (
@@ -125,20 +350,38 @@ class QueryEngine:
             if executed_flags is None
             else [r for r, ran in zip(results, executed_flags) if ran]
         )
+        seconds = perf_counter() - t_start
         stats = QueryStats(
             mode=mode,
             n_queries=n_queries,
             cache_hits=cache_hits,
             dedup_hits=dedup_hits,
-            seconds=perf_counter() - t_start,
+            seconds=seconds,
             n_visited=sum(r.n_visited for r in executed),
             n_computed=sum(r.n_computed for r in executed),
             n_pruned=sum(r.n_pruned for r in executed),
             terminated_early=any(r.terminated_early for r in executed),
+            epoch=self.epoch,
+            pending_rank=self._pending_rank(),
+            corrected=corrected,
         )
+        if executed and mode != "top_k_ablation":
+            per_scan = seconds / len(executed)
+            if corrected:
+                self._corrected_seconds = self._ewma(
+                    self._corrected_seconds, per_scan
+                )
+            else:
+                self._clean_seconds = self._ewma(self._clean_seconds, per_scan)
         self.last_stats = stats
         self.history.append(stats)
         self.stats.record(stats)
+
+    @staticmethod
+    def _ewma(current: Optional[float], sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - _LATENCY_EWMA_ALPHA) * current + _LATENCY_EWMA_ALPHA * sample
 
     # ------------------------------------------------------------------
     # Query surface
@@ -154,12 +397,21 @@ class QueryEngine:
 
         The ablation variants (``prune=False`` or a root override) pass
         straight through and are never cached — they exist for
-        experiments, not serving.
+        experiments, not serving.  Under pending updates every variant
+        serves the exact corrected vector (which is exhaustive anyway,
+        subsuming both ablations).
         """
         t0 = perf_counter()
+        self._sync_epoch()
+        pending = self._pending_rank()
         if not prune or root is not None:
-            result = self.index.top_k(query, k, prune=prune, root=root)
-            self._record("top_k_ablation", 1, 0, 0, t0, [result])
+            if pending:
+                result = self._dynamic.top_k(query, k)
+            else:
+                result = self.index.top_k(query, k, prune=prune, root=root)
+            self._record(
+                "top_k_ablation", 1, 0, 0, t0, [result], corrected=bool(pending)
+            )
             return result
         query = check_node_id(query, self.index.graph.n_nodes, "query")
         k = check_k(k)
@@ -168,9 +420,14 @@ class QueryEngine:
         if cached is not None:
             self._record("top_k", 1, 1, 0, t0, [cached], executed_flags=[False])
             return cached
-        result = self.index.top_k(query, k)
+        if pending:
+            result = self._dynamic.top_k(query, k)
+        else:
+            result = self.index.top_k(query, k)
         self._cache_put(key, result)
-        self._record("top_k", 1, 0, 0, t0, [result])
+        self._record("top_k", 1, 0, 0, t0, [result], corrected=bool(pending))
+        if pending:
+            self._maybe_rebuild()
         return result
 
     def top_k_many(self, queries: Iterable[int], k: int = 5) -> List[TopKResult]:
@@ -180,8 +437,12 @@ class QueryEngine:
         scan.  This is the serving-path replacement for the naive
         ``KDash.top_k_batch`` loop (see
         ``benchmarks/bench_batch_throughput.py`` for the comparison).
+        Under pending updates the batch runs on the corrected path, still
+        deduped and cache-backed; the per-batch Woodbury pieces are
+        computed once and shared across the whole batch.
         """
         t0 = perf_counter()
+        self._sync_epoch()
         index = self.index
         prepared = index._prepared
         n = prepared.n
@@ -192,6 +453,9 @@ class QueryEngine:
             bad = int(qarr[(qarr < 0) | (qarr >= n)][0])
             check_node_id(bad, n, "query")  # raises with the right message
         qlist = qarr.tolist()
+
+        if self._pending_rank():
+            return self._top_k_many_corrected(qlist, k, t0)
 
         resolved: dict = {}
         executed: List[TopKResult] = []
@@ -243,9 +507,45 @@ class QueryEngine:
         )
         return results
 
+    def _top_k_many_corrected(
+        self, qlist: List[int], k: int, t0: float
+    ) -> List[TopKResult]:
+        """The pending-updates batch path: corrected, deduped, cached."""
+        resolved: dict = {}
+        executed: List[TopKResult] = []
+        cache_hits = 0
+        dedup_hits = 0
+        for q in qlist:
+            if q in resolved:
+                dedup_hits += 1
+                continue
+            key = ("topk", q, k)
+            cached = self._cache_get(key)
+            if cached is not None:
+                resolved[q] = cached
+                cache_hits += 1
+                continue
+            result = self._dynamic.top_k(q, k)
+            self._cache_put(key, result)
+            resolved[q] = result
+            executed.append(result)
+        results = [resolved[q] for q in qlist]
+        self._record(
+            "top_k_many",
+            len(qlist),
+            cache_hits,
+            dedup_hits,
+            t0,
+            executed,
+            corrected=True,
+        )
+        self._maybe_rebuild()
+        return results
+
     def above_threshold(self, query: int, threshold: float) -> TopKResult:
         """All nodes with proximity ≥ ``threshold`` (cached, observable)."""
         t0 = perf_counter()
+        self._sync_epoch()
         # Validate before the cache lookup: a coerced key must never
         # hand an invalid query another node's cached result.
         query = check_node_id(query, self.index.graph.n_nodes, "query")
@@ -256,14 +556,23 @@ class QueryEngine:
                 "above_threshold", 1, 1, 0, t0, [cached], executed_flags=[False]
             )
             return cached
-        result = self.index.above_threshold(query, threshold)
+        pending = self._pending_rank()
+        if pending:
+            result = self._dynamic.above_threshold(query, threshold)
+        else:
+            result = self.index.above_threshold(query, threshold)
         self._cache_put(key, result)
-        self._record("above_threshold", 1, 0, 0, t0, [result])
+        self._record(
+            "above_threshold", 1, 0, 0, t0, [result], corrected=bool(pending)
+        )
+        if pending:
+            self._maybe_rebuild()
         return result
 
     def top_k_personalized(self, restart, k: int = 5) -> TopKResult:
         """Top-k for a weighted restart set (cached on normalised weights)."""
         t0 = perf_counter()
+        self._sync_epoch()
         key = self._personalized_key(restart, k)
         if key is not None:
             cached = self._cache_get(key)
@@ -272,10 +581,18 @@ class QueryEngine:
                     "top_k_personalized", 1, 1, 0, t0, [cached], executed_flags=[False]
                 )
                 return cached
-        result = self.index.top_k_personalized(restart, k)
+        pending = self._pending_rank()
+        if pending:
+            result = self._dynamic.top_k_personalized(restart, k)
+        else:
+            result = self.index.top_k_personalized(restart, k)
         if key is not None:
             self._cache_put(key, result)
-        self._record("top_k_personalized", 1, 0, 0, t0, [result])
+        self._record(
+            "top_k_personalized", 1, 0, 0, t0, [result], corrected=bool(pending)
+        )
+        if pending:
+            self._maybe_rebuild()
         return result
 
     @staticmethod
@@ -306,6 +623,9 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         """Zero the lifetime aggregates and the per-call history."""
-        self.stats = EngineStats()
+        self.stats = EngineStats(
+            current_epoch=self.epoch,
+            rebuilds=self._dynamic.n_rebuilds if self._dynamic else 0,
+        )
         self.history.clear()
         self.last_stats = None

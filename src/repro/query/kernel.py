@@ -94,6 +94,23 @@ def pruned_scan(
         ``None`` for the lazy BFS frontier, or an object with
         ``layer_groups()`` / ``n_scheduled`` (a ``BFSTree``) for a fixed
         visit order.
+
+    Examples
+    --------
+    One full query, spelled out at kernel level (the index's ``top_k``
+    wraps exactly these steps):
+
+    >>> from repro.core import KDash
+    >>> from repro.graph import star_graph
+    >>> prepared = KDash(star_graph(4), c=0.9).build().prepared
+    >>> y = prepared.workspace()
+    >>> rows = prepared.scatter_column(y, 0)
+    >>> scan = pruned_scan(prepared, y, (0,), k=2,
+    ...                    total_mass=prepared.total_mass_of(0))
+    >>> scan_to_topk(0, 2, prepared.n, scan).nodes[0]
+    0
+    >>> scan.n_computed <= prepared.n
+    True
     """
     if (k is None) == (threshold is None):
         raise InvalidParameterError(

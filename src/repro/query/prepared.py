@@ -51,6 +51,24 @@ class PreparedIndex:
         notes on dangling nodes).
     l_inv:
         The column-access ``L^-1`` (for workspace scatters).
+
+    Examples
+    --------
+    The workspace discipline of the batched serving path — scatter a
+    seed column, scan, then clear only the touched rows:
+
+    >>> from repro.core import KDash
+    >>> from repro.graph import star_graph
+    >>> prepared = KDash(star_graph(4), c=0.9).build().prepared
+    >>> y = prepared.workspace()
+    >>> rows = prepared.scatter_column(y, 2)
+    >>> bool(y.any())
+    True
+    >>> prepared.clear_rows(y, rows)
+    >>> bool(y.any())
+    False
+    >>> 0.0 < prepared.total_mass_of(0) <= 1.0
+    True
     """
 
     __slots__ = (

@@ -3,11 +3,28 @@
 Two granularities:
 
 - :class:`QueryStats` — one frozen record per engine call (single query
-  or batch), carrying wall time, cache/dedup accounting and the
-  aggregated search counters of the underlying pruned scans.  The most
-  recent records are kept in :attr:`QueryEngine.history`.
+  or batch), carrying wall time, cache/dedup accounting, the aggregated
+  search counters of the underlying pruned scans, and — on a
+  dynamic-graph engine — the epoch and pending-update rank the call was
+  served under.  The most recent records are kept in
+  :attr:`QueryEngine.history`.
 - :class:`EngineStats` — monotone lifetime aggregates, cheap enough to
-  export on every scrape (queries served, hit rate, total seconds).
+  export on every scrape (queries served, hit rate, total seconds,
+  update batches, cache invalidations, rebuilds).
+
+Examples
+--------
+>>> from repro.query import EngineStats, QueryStats
+>>> s = QueryStats(mode="top_k_many", n_queries=4, cache_hits=1,
+...                dedup_hits=1, seconds=0.5)
+>>> s.executed
+2
+>>> s.queries_per_second
+8.0
+>>> agg = EngineStats()
+>>> agg.record(s)
+>>> agg.hit_rate
+0.5
 """
 
 from __future__ import annotations
@@ -38,6 +55,16 @@ class QueryStats:
         Search counters summed over the scans actually executed.
     terminated_early:
         Whether any executed scan terminated on the Lemma 2 cut-off.
+    epoch:
+        The engine's update epoch the call was served in (0 on a static
+        index; bumps once per observed update batch).
+    pending_rank:
+        Woodbury correction rank (distinct updated transition-matrix
+        columns) in effect during the call; 0 means the clean pruned
+        path.
+    corrected:
+        Whether executed scans went through the exact Woodbury-corrected
+        (exhaustive) path instead of the pruned fast path.
     """
 
     mode: str
@@ -49,6 +76,9 @@ class QueryStats:
     n_computed: int = 0
     n_pruned: int = 0
     terminated_early: bool = False
+    epoch: int = 0
+    pending_rank: int = 0
+    corrected: bool = False
 
     @property
     def executed(self) -> int:
@@ -65,15 +95,27 @@ class QueryStats:
 
 @dataclass
 class EngineStats:
-    """Lifetime aggregates of one :class:`QueryEngine`."""
+    """Lifetime aggregates of one :class:`QueryEngine`.
+
+    The serving counters (``calls`` … ``total_seconds``) fold in from
+    per-call :class:`QueryStats` records via :meth:`record`; the dynamic
+    counters (``update_batches`` … ``current_epoch``) are maintained by
+    the engine's update path and stay 0 on a static index.
+    """
 
     calls: int = 0
     queries_served: int = 0
     cache_hits: int = 0
     dedup_hits: int = 0
     scans_executed: int = 0
+    corrected_queries: int = 0
     total_seconds: float = 0.0
     by_mode: Dict[str, int] = field(default_factory=dict)
+    update_batches: int = 0
+    updates_applied: int = 0
+    invalidations: int = 0
+    rebuilds: int = 0
+    current_epoch: int = 0
 
     def record(self, stats: QueryStats) -> None:
         """Fold one per-call record into the lifetime aggregates."""
@@ -82,6 +124,8 @@ class EngineStats:
         self.cache_hits += stats.cache_hits
         self.dedup_hits += stats.dedup_hits
         self.scans_executed += stats.executed
+        if stats.corrected:
+            self.corrected_queries += stats.executed
         self.total_seconds += stats.seconds
         self.by_mode[stats.mode] = self.by_mode.get(stats.mode, 0) + 1
 
@@ -100,7 +144,13 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "dedup_hits": self.dedup_hits,
             "scans_executed": self.scans_executed,
+            "corrected_queries": self.corrected_queries,
             "total_seconds": self.total_seconds,
             "hit_rate": self.hit_rate,
             "by_mode": dict(self.by_mode),
+            "update_batches": self.update_batches,
+            "updates_applied": self.updates_applied,
+            "invalidations": self.invalidations,
+            "rebuilds": self.rebuilds,
+            "current_epoch": self.current_epoch,
         }

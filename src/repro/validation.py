@@ -97,6 +97,40 @@ def check_tolerance(tol: float, name: str = "tol") -> float:
     return tol
 
 
+def check_threshold(threshold: float) -> float:
+    """Validate a proximity threshold (strictly positive, finite)."""
+    threshold = float(threshold)
+    if not (threshold > 0.0) or not np.isfinite(threshold):
+        raise InvalidParameterError(
+            f"threshold must be a positive finite float, got {threshold!r}"
+        )
+    return threshold
+
+
+def check_restart_set(restart, n_nodes: int) -> dict:
+    """Validate a ``{node: weight}`` restart set; return normalised shares.
+
+    Every node id must be a valid node of the graph and every weight a
+    positive finite float; the returned dict maps node id to its weight
+    share (summing to 1).  Used by both the static and the dynamic
+    Personalized-PageRank entry points so the two surfaces reject exactly
+    the same inputs.
+    """
+    if not restart:
+        raise InvalidParameterError("restart set must not be empty")
+    seeds = {}
+    for node, weight in dict(restart).items():
+        node = check_node_id(node, n_nodes, "restart node")
+        weight = float(weight)
+        if not (weight > 0.0) or not np.isfinite(weight):
+            raise InvalidParameterError(
+                f"restart weight for node {node} must be positive, got {weight!r}"
+            )
+        seeds[node] = weight
+    total_weight = sum(seeds.values())
+    return {node: weight / total_weight for node, weight in seeds.items()}
+
+
 def check_choice(value: str, choices: Sequence[str], name: str) -> str:
     """Validate a string option against an allowed set (case-sensitive)."""
     if value not in choices:

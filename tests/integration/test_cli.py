@@ -77,6 +77,104 @@ class TestBuildAndQuery:
             main(["query", "--index", "x.npz"])
 
 
+class TestUpdateCommand:
+    @pytest.fixture
+    def index_path(self, tmp_path, capsys):
+        path = str(tmp_path / "internet.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--output", path])
+        capsys.readouterr()
+        return path
+
+    def test_update_query_and_save(self, index_path, tmp_path, capsys):
+        out_path = str(tmp_path / "v2.npz")
+        assert main([
+            "update", "--index", index_path,
+            "--add", "0:5:2.0,3:4", "--node", "5", "--k", "3",
+            "--output", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "applied 2 inserts, 0 deletes" in out
+        assert "correction rank 2, epoch 1" in out
+        assert "exact under pending updates" in out
+        assert "rebuilt (pruned fast path restored)" in out
+        # The saved index reflects the updates and serves queries.
+        assert main(["query", "--index", out_path, "--node", "0", "--k", "3"]) == 0
+        assert "top-3 for node 0" in capsys.readouterr().out
+
+    def test_update_rejects_bad_spec(self, index_path, capsys):
+        assert main(["update", "--index", index_path, "--add", "0:x"]) == 2
+        assert "error" in capsys.readouterr().out
+        assert main(["update", "--index", index_path]) == 2
+
+    def test_update_missing_edge_reported(self, index_path, capsys):
+        assert main(["update", "--index", index_path, "--remove", "0:149"]) == 2
+        assert "does not exist" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def index_path(self, tmp_path, capsys):
+        path = str(tmp_path / "internet.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--output", path])
+        capsys.readouterr()
+        return path
+
+    def test_mixed_stream(self, index_path, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text(
+            "# mixed update/query stream\n"
+            "query 3 4\n"
+            "add 0 7 2.0\n"
+            "add 1 9\n"
+            "query 3 4\n"
+            "query 3 4\n"
+            "batch 3,7,3,12 4\n"
+            "rebuild\n"
+            "query 3 4\n"
+        )
+        assert main(["serve", "--index", index_path, "--ops", str(ops)]) == 0
+        out = capsys.readouterr().out
+        assert "[pruned, epoch 0, rank 0]" in out
+        assert "applied batch: +2/-0 edges, correction rank 2" in out
+        assert "[corrected, epoch 1, rank 2]" in out
+        assert "[cached, epoch 1, rank 2]" in out
+        assert "forced rebuild (#1)" in out
+        assert "batch of 4 queries" in out
+        assert "1 rebuilds" in out
+
+    def test_policy_rank_trigger(self, index_path, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("add 0 7\nadd 1 9\nadd 2 11\nquery 3\n")
+        assert main([
+            "serve", "--index", index_path, "--ops", str(ops), "--max-rank", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-> rebuilt" in out
+        assert "[pruned, epoch 1, rank 0]" in out
+
+    def test_bad_line_rejected(self, index_path, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("frobnicate 1 2\n")
+        assert main(["serve", "--index", index_path, "--ops", str(ops)]) == 2
+        assert "unrecognised operation" in capsys.readouterr().out
+
+    def test_missing_ops_file(self, index_path, capsys):
+        assert main(["serve", "--index", index_path, "--ops", "/nonexistent"]) == 2
+        assert "cannot read ops file" in capsys.readouterr().out
+
+    def test_trailing_update_failure_reported(self, index_path, tmp_path, capsys):
+        # A bad update with no query after it only fails at the final
+        # flush; it must still exit 2 with the buffering line attributed.
+        ops = tmp_path / "ops.txt"
+        ops.write_text("query 3 4\nremove 0 149\n")
+        assert main(["serve", "--index", index_path, "--ops", str(ops)]) == 2
+        out = capsys.readouterr().out
+        assert "error: line 2" in out
+        assert "does not exist" in out
+
+
 class TestExperimentCommand:
     def test_fig5_small(self, capsys):
         assert main(["experiment", "--name", "fig5", "--scale", "0.08"]) == 0

@@ -47,3 +47,11 @@ class TestExamples:
         out = run_example("case_study_dictionary", capsys)
         assert "query: 'microsoft'" in out
         assert "K-dash matches the exact ranking on 5/5" in out
+
+    def test_dynamic_updates(self, capsys):
+        out = run_example("dynamic_updates", capsys)
+        assert "t=0 (clean index)" in out
+        assert "corrected=True, exact via Woodbury" in out
+        assert "the policy rebuilt the index" in out
+        assert "corrected=False" in out
+        assert "exactness verified against the direct solver at every stage" in out

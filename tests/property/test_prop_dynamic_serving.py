@@ -1,0 +1,143 @@
+"""Property-based equivalence for the dynamic serving layer.
+
+The PR-2 acceptance bar: after *any* randomized insert/delete stream —
+including delete-then-reinsert and updates touching the cached query's
+own seed column — ``QueryEngine.top_k`` over a ``DynamicKDash`` must
+exactly match a from-scratch ``KDash.build`` + brute-force proximity
+ranking, across multiple graph families, with the LRU cache demonstrably
+invalidated at every epoch.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro import DynamicKDash, KDash, QueryEngine
+from repro.eval.metrics import exactness_certificate
+from repro.graph import (
+    column_normalized_adjacency,
+    erdos_renyi_graph,
+    grid_graph,
+    scale_free_digraph,
+)
+from repro.rwr import direct_solve_rwr
+
+
+@st.composite
+def family_graphs(draw):
+    """Graphs from three structurally distinct families."""
+    family = draw(st.sampled_from(["erdos_renyi", "scale_free", "grid"]))
+    seed = draw(st.integers(0, 10_000))
+    if family == "erdos_renyi":
+        n = draw(st.integers(8, 36))
+        return erdos_renyi_graph(n, 0.15, seed=seed)
+    if family == "scale_free":
+        n = draw(st.integers(8, 36))
+        return scale_free_digraph(n, 3 * n, seed=seed)
+    rows = draw(st.integers(3, 6))
+    cols = draw(st.integers(3, 6))
+    return grid_graph(rows, cols)
+
+
+def random_stream(rng, dyn, query, n_batches):
+    """Random insert/delete batches biased toward the nasty cases."""
+    n = dyn.graph.n_nodes
+    batches = []
+    for _ in range(n_batches):
+        inserts, deletes = [], []
+        deleted_this_batch = set()
+        for _ in range(int(rng.integers(1, 5))):
+            roll = rng.random()
+            edges = [
+                (u, v)
+                for u, v, _ in dyn.graph.edges()
+                if (u, v) not in deleted_this_batch
+            ]
+            if roll < 0.3 and edges:
+                edge = edges[int(rng.integers(len(edges)))]
+                deletes.append(edge)
+                # All deletes run before any insert, so the edge must not
+                # be deleted twice even when re-inserted below.
+                deleted_this_batch.add(edge)
+                if rng.random() < 0.5:
+                    # Delete-then-reinsert inside the same batch.
+                    inserts.append((edge[0], edge[1], 1.0))
+            elif roll < 0.55:
+                # Touch the cached query's own seed column.
+                inserts.append((query, int(rng.integers(n)), float(rng.integers(1, 4))))
+            else:
+                inserts.append(
+                    (int(rng.integers(n)), int(rng.integers(n)), float(rng.integers(1, 4)))
+                )
+        batches.append((inserts, deletes))
+    return batches
+
+
+class TestStreamEquivalence:
+    @given(family_graphs(), st.integers(0, 10_000), st.integers(1, 8))
+    def test_engine_matches_fresh_build(self, graph, stream_seed, k):
+        rng = np.random.default_rng(stream_seed)
+        n = graph.n_nodes
+        query = int(rng.integers(n))
+        dyn = DynamicKDash(graph, c=0.9, rebuild_threshold=None)
+        engine = QueryEngine(dyn)
+
+        previous = engine.top_k(query, k)  # populates the LRU cache
+        n_batches = int(rng.integers(1, 4))
+        epochs_seen = []
+        for _ in range(n_batches):
+            inserts, deletes = random_stream(rng, dyn, query, 1)[0]
+            engine.apply_updates(inserts, deletes)
+            result = engine.top_k(query, k)
+            # Cache invalidated across the epoch: never the stale object.
+            assert result is not previous
+            epochs_seen.append(engine.epoch)
+            previous = result
+
+        assert epochs_seen == list(range(1, n_batches + 1))
+
+        # The engine after the stream == a from-scratch build + brute force.
+        exact = direct_solve_rwr(
+            column_normalized_adjacency(dyn.graph), query, 0.9
+        )
+        assert exactness_certificate(previous, exact, atol=1e-9)
+        fresh = KDash(dyn.graph.copy(), c=0.9).build()
+        fresh_result = fresh.top_k(query, k)
+        assert np.allclose(
+            sorted(previous.proximities, reverse=True),
+            sorted(fresh_result.proximities, reverse=True),
+            atol=1e-9,
+        )
+
+    @given(family_graphs(), st.integers(0, 10_000))
+    def test_batch_api_matches_fresh_build_many_queries(self, graph, stream_seed):
+        rng = np.random.default_rng(stream_seed)
+        n = graph.n_nodes
+        dyn = DynamicKDash(graph, c=0.9, rebuild_threshold=None)
+        engine = QueryEngine(dyn)
+        inserts, deletes = random_stream(rng, dyn, int(rng.integers(n)), 1)[0]
+        engine.apply_updates(inserts, deletes)
+        queries = [int(rng.integers(n)) for _ in range(6)]
+        results = engine.top_k_many(queries, k=4)
+        adjacency = column_normalized_adjacency(dyn.graph)
+        for q, result in zip(queries, results):
+            exact = direct_solve_rwr(adjacency, q, 0.9)
+            assert exactness_certificate(result, exact, atol=1e-9)
+
+    @given(family_graphs(), st.integers(0, 10_000))
+    def test_rebuild_preserves_answers(self, graph, stream_seed):
+        rng = np.random.default_rng(stream_seed)
+        n = graph.n_nodes
+        query = int(rng.integers(n))
+        dyn = DynamicKDash(graph, c=0.9, rebuild_threshold=None)
+        engine = QueryEngine(dyn)
+        inserts, deletes = random_stream(rng, dyn, query, 1)[0]
+        engine.apply_updates(inserts, deletes)
+        corrected = engine.top_k(query, 5)
+        engine.rebuild()
+        engine.clear_cache()
+        rebuilt = engine.top_k(query, 5)
+        assert np.allclose(
+            sorted(corrected.proximities, reverse=True),
+            sorted(rebuilt.proximities, reverse=True),
+            atol=1e-9,
+        )

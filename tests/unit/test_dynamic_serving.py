@@ -1,0 +1,352 @@
+"""Unit tests for the dynamic serving layer.
+
+Covers the PR-2 tentpole end to end at unit granularity: batched
+``DynamicKDash.apply_updates`` with incremental Woodbury maintenance,
+``QueryEngine`` epochs + atomic cache invalidation, staleness-tagged
+stats, and the ``RebuildPolicy`` triggers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DynamicKDash, KDash, QueryEngine, RebuildPolicy
+from repro.core import UpdateReport, load_index, save_index
+from repro.exceptions import GraphError, InvalidParameterError
+from repro.graph import column_normalized_adjacency
+from repro.rwr import direct_solve_rwr
+
+
+@pytest.fixture
+def dyn(er_graph):
+    return DynamicKDash(er_graph, c=0.9, rebuild_threshold=None)
+
+
+@pytest.fixture
+def engine(dyn):
+    return QueryEngine(dyn)
+
+
+def reference(dyn, query):
+    return direct_solve_rwr(column_normalized_adjacency(dyn.graph), query, dyn.c)
+
+
+def existing_edges(graph, count):
+    edges = []
+    for u, v, _ in graph.edges():
+        edges.append((u, v))
+        if len(edges) == count:
+            break
+    return edges
+
+
+class TestApplyUpdates:
+    def test_batch_exactness(self, dyn):
+        deletes = existing_edges(dyn.graph, 2)
+        report = dyn.apply_updates(
+            inserts=[(0, 42, 3.0), (7, 9), (7, 11, 2.0)], deletes=deletes
+        )
+        assert isinstance(report, UpdateReport)
+        assert report.n_inserted == 3
+        assert report.n_deleted == 2
+        assert set(report.touched_columns) == {0, 7} | {u for u, _ in deletes}
+        for q in (0, 7, 23):
+            assert np.allclose(dyn.proximity_column(q), reference(dyn, q), atol=1e-9)
+
+    def test_deletes_applied_before_inserts(self, dyn):
+        (u, v) = existing_edges(dyn.graph, 1)[0]
+        # Same edge deleted and re-inserted with a new weight in one batch.
+        dyn.apply_updates(inserts=[(u, v, 5.0)], deletes=[(u, v)])
+        assert dyn.graph.edge_weight(u, v) == 5.0
+        assert np.allclose(dyn.proximity_column(u), reference(dyn, u), atol=1e-9)
+
+    def test_incremental_across_batches(self, dyn):
+        """Later batches must not disturb earlier correction columns."""
+        dyn.apply_updates(inserts=[(0, 42, 3.0)])
+        first_wd = dict(dyn._wd_columns)
+        dyn.apply_updates(inserts=[(7, 9)])
+        # Column 0 was untouched by the second batch: cached product reused.
+        assert dyn._wd_columns[0] is first_wd[0]
+        assert dyn.n_pending_columns == 2
+        for q in (0, 7, 30):
+            assert np.allclose(dyn.proximity_column(q), reference(dyn, q), atol=1e-9)
+
+    def test_retouched_column_recomputed(self, dyn):
+        dyn.apply_updates(inserts=[(0, 42, 3.0)])
+        first = dyn._wd_columns[0]
+        dyn.apply_updates(inserts=[(0, 43, 1.0)])
+        assert dyn._wd_columns[0] is not first
+        assert dyn.n_pending_columns == 1
+        assert np.allclose(dyn.proximity_column(0), reference(dyn, 0), atol=1e-9)
+
+    def test_delete_then_reinsert_cancels_rank(self, dyn):
+        (u, v) = existing_edges(dyn.graph, 1)[0]
+        w = dyn.graph.edge_weight(u, v)
+        dyn.apply_updates(deletes=[(u, v)])
+        assert dyn.n_pending_columns == 1
+        report = dyn.apply_updates(inserts=[(u, v, w)])
+        assert report.pending_rank == 0
+        assert dyn.n_pending_columns == 0
+        # Back on the pruned path, still exact.
+        result = dyn.top_k(u, 5)
+        assert result.n_computed < dyn.graph.n_nodes
+
+    def test_malformed_insert_rejected(self, dyn):
+        with pytest.raises(InvalidParameterError):
+            dyn.apply_updates(inserts=[(1, 2, 3.0, 4.0)])
+
+    def test_partial_batch_failure_stays_exact(self, dyn):
+        """A mid-batch error must leave applied mutations corrected."""
+        (u, v) = existing_edges(dyn.graph, 1)[0]
+        with pytest.raises(GraphError):
+            # First delete lands, second names a missing edge.
+            dyn.apply_updates(deletes=[(u, v), (0, 0)])
+        assert not dyn.graph.has_edge(u, v)
+        assert dyn.n_pending_columns >= 1  # the applied delete is covered
+        assert np.allclose(dyn.proximity_column(u), reference(dyn, u), atol=1e-9)
+
+    def test_partial_batch_failure_invalidates_engine_cache(self, dyn):
+        engine = QueryEngine(dyn)
+        (u, v) = existing_edges(dyn.graph, 1)[0]
+        stale = engine.top_k(u, 5)
+        with pytest.raises(GraphError):
+            engine.apply_updates(deletes=[(u, v), (0, 0)])
+        fresh = engine.top_k(u, 5)  # serial bumped: cache must not serve stale
+        assert fresh is not stale
+        assert np.allclose(
+            sorted(fresh.proximities, reverse=True),
+            sorted(reference(dyn, u), reverse=True)[:5],
+            atol=1e-9,
+        )
+
+    def test_update_serial_monotone(self, dyn):
+        s0 = dyn.update_serial
+        dyn.apply_updates(inserts=[(0, 42)])
+        s1 = dyn.update_serial
+        assert s1 > s0
+        dyn.rebuild()  # rebuilds change no answer: serial untouched
+        assert dyn.update_serial == s1
+
+    def test_from_index_adoption(self, er_graph, tmp_path):
+        index = KDash(er_graph, c=0.9).build()
+        path = str(tmp_path / "er.npz")
+        save_index(index, path)
+        dyn = DynamicKDash.from_index(load_index(path), rebuild_threshold=None)
+        dyn.apply_updates(inserts=[(0, 42, 2.0)])
+        assert np.allclose(dyn.proximity_column(0), reference(dyn, 0), atol=1e-9)
+        # The wrapped copy, not the loaded index, absorbed the mutation.
+        assert not index.graph.has_edge(0, 42)
+
+
+class TestCorrectedQueryModes:
+    def test_above_threshold_matches_brute_force(self, dyn):
+        dyn.apply_updates(inserts=[(0, 42, 3.0)], deletes=existing_edges(dyn.graph, 1))
+        threshold = 1e-3
+        result = dyn.above_threshold(0, threshold)
+        expected = reference(dyn, 0)
+        want = sorted((p for p in expected if p >= threshold - 1e-12), reverse=True)
+        assert np.allclose(
+            sorted(result.proximities, reverse=True), want, atol=1e-9
+        )
+
+    def test_personalized_matches_brute_force(self, dyn):
+        dyn.apply_updates(inserts=[(3, 42, 2.0)])
+        restart = {3: 0.7, 11: 0.3}
+        result = dyn.top_k_personalized(restart, 6)
+        expected = 0.7 * reference(dyn, 3) + 0.3 * reference(dyn, 11)
+        assert np.allclose(
+            sorted(result.proximities, reverse=True),
+            sorted(expected, reverse=True)[:6],
+            atol=1e-9,
+        )
+
+    def test_clean_state_delegates_to_pruned(self, dyn):
+        assert dyn.above_threshold(0, 1e-4).terminated_early in (True, False)
+        result = dyn.top_k_personalized({0: 1.0}, 5)
+        assert result.n_computed < dyn.graph.n_nodes
+
+
+class TestEngineEpochs:
+    def test_update_bumps_epoch_and_invalidates(self, engine):
+        r0 = engine.top_k(0, 5)
+        assert engine.top_k(0, 5) is r0
+        assert engine.epoch == 0
+        engine.apply_updates(inserts=[(0, 42, 3.0)])
+        assert engine.epoch == 1
+        assert engine.cache_info()[0] == 0
+        r1 = engine.top_k(0, 5)
+        assert r1 is not r0
+        assert engine.stats.invalidations == 1
+
+    def test_direct_mutation_on_handle_invalidates(self, dyn, engine):
+        r0 = engine.top_k(0, 5)
+        dyn.add_edge(0, 42, 3.0)  # bypasses the engine on purpose
+        r1 = engine.top_k(0, 5)
+        assert r1 is not r0
+        assert engine.epoch == 1
+        assert np.allclose(
+            sorted(r1.proximities, reverse=True),
+            sorted(reference(dyn, 0), reverse=True)[:5],
+            atol=1e-9,
+        )
+
+    def test_update_touching_cached_seed(self, dyn, engine):
+        query = 7
+        stale = engine.top_k(query, 5)
+        # The update rewires the cached query's own out-edges.
+        engine.apply_updates(inserts=[(query, 42, 10.0)])
+        fresh = engine.top_k(query, 5)
+        assert fresh is not stale
+        expected = reference(dyn, query)
+        assert np.allclose(
+            sorted(fresh.proximities, reverse=True),
+            sorted(expected, reverse=True)[:5],
+            atol=1e-9,
+        )
+
+    def test_one_epoch_per_batch(self, engine):
+        engine.apply_updates(inserts=[(0, 42), (1, 43), (2, 44)])
+        assert engine.epoch == 1
+        engine.apply_updates(inserts=[(3, 45)])
+        assert engine.epoch == 2
+
+    def test_cache_survives_rebuild(self, engine):
+        engine.apply_updates(inserts=[(0, 42, 3.0)])
+        r0 = engine.top_k(0, 5)
+        engine.rebuild()
+        # A rebuild changes no answer: the cached result stays valid.
+        assert engine.top_k(0, 5) is r0
+        assert engine.epoch == 1
+
+    def test_static_engine_rejects_updates(self, er_graph):
+        engine = QueryEngine(KDash(er_graph, c=0.9).build())
+        with pytest.raises(InvalidParameterError):
+            engine.apply_updates(inserts=[(0, 1)])
+        with pytest.raises(InvalidParameterError):
+            engine.rebuild()
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(KDash(er_graph, c=0.9).build(), rebuild_policy=RebuildPolicy())
+
+    def test_graph_errors_propagate(self, engine):
+        with pytest.raises(GraphError):
+            engine.apply_updates(deletes=[(0, 0)])
+
+
+class TestCorrectedServing:
+    def test_all_modes_exact_under_updates(self, dyn, engine):
+        engine.apply_updates(
+            inserts=[(0, 42, 3.0), (7, 9)], deletes=existing_edges(dyn.graph, 1)
+        )
+        expected = reference(dyn, 0)
+        top = engine.top_k(0, 5)
+        assert engine.last_stats.corrected
+        assert np.allclose(
+            sorted(top.proximities, reverse=True),
+            sorted(expected, reverse=True)[:5],
+            atol=1e-9,
+        )
+        thr = engine.above_threshold(0, 1e-3)
+        assert engine.last_stats.corrected
+        want = sorted((p for p in expected if p >= 1e-3 - 1e-12), reverse=True)
+        assert np.allclose(sorted(thr.proximities, reverse=True), want, atol=1e-9)
+        ppr = engine.top_k_personalized({0: 1.0}, 5)
+        assert engine.last_stats.corrected
+        assert np.allclose(
+            sorted(ppr.proximities, reverse=True),
+            sorted(expected, reverse=True)[:5],
+            atol=1e-9,
+        )
+
+    def test_batch_corrected_dedup_and_cache(self, dyn, engine):
+        engine.apply_updates(inserts=[(0, 42, 3.0)])
+        engine.top_k(1, 5)
+        results = engine.top_k_many([0, 1, 0, 2], k=5)
+        stats = engine.last_stats
+        assert stats.corrected
+        assert stats.dedup_hits == 1
+        assert stats.cache_hits == 1  # node 1 cached by the single call
+        assert stats.executed == 2
+        for q, result in zip([0, 1, 0, 2], results):
+            assert np.allclose(
+                sorted(result.proximities, reverse=True),
+                sorted(reference(dyn, q), reverse=True)[:5],
+                atol=1e-9,
+            )
+
+    def test_ablation_args_served_corrected(self, dyn, engine):
+        engine.apply_updates(inserts=[(0, 42, 3.0)])
+        result = engine.top_k(0, 5, prune=False)
+        assert engine.last_stats.mode == "top_k_ablation"
+        assert engine.last_stats.corrected
+        assert np.allclose(
+            sorted(result.proximities, reverse=True),
+            sorted(reference(dyn, 0), reverse=True)[:5],
+            atol=1e-9,
+        )
+
+    def test_stats_tagging(self, engine):
+        engine.top_k(0, 5)
+        assert engine.last_stats.epoch == 0
+        assert engine.last_stats.pending_rank == 0
+        assert not engine.last_stats.corrected
+        engine.apply_updates(inserts=[(0, 42), (1, 43)])
+        engine.top_k(0, 5)
+        assert engine.last_stats.epoch == 1
+        assert engine.last_stats.pending_rank == 2
+        assert engine.last_stats.corrected
+        agg = engine.stats.as_dict()
+        assert agg["update_batches"] == 1
+        assert agg["updates_applied"] == 2
+        assert agg["invalidations"] == 1
+        assert agg["current_epoch"] == 1
+        assert agg["corrected_queries"] == 1
+
+
+class TestRebuildPolicy:
+    def test_rank_trigger(self, er_graph):
+        engine = QueryEngine(
+            DynamicKDash(er_graph, c=0.9, rebuild_threshold=None),
+            rebuild_policy=RebuildPolicy(max_rank=2),
+        )
+        report = engine.apply_updates(inserts=[(0, 50), (1, 51), (2, 52)])
+        assert report.rebuilt
+        assert report.pending_rank == 0
+        assert engine.stats.rebuilds == 1
+        result = engine.top_k(0, 5)
+        assert not engine.last_stats.corrected  # fast path restored
+        assert result.n_computed < er_graph.n_nodes
+
+    def test_below_rank_no_trigger(self, er_graph):
+        engine = QueryEngine(
+            DynamicKDash(er_graph, c=0.9, rebuild_threshold=None),
+            rebuild_policy=RebuildPolicy(max_rank=10),
+        )
+        report = engine.apply_updates(inserts=[(0, 50)])
+        assert not report.rebuilt
+        assert engine.stats.rebuilds == 0
+
+    def test_should_rebuild_slowdown(self):
+        policy = RebuildPolicy(max_rank=None, max_slowdown=5.0)
+        assert not policy.should_rebuild(0)
+        assert not policy.should_rebuild(3)  # no latency samples yet
+        assert not policy.should_rebuild(3, corrected_seconds=1e-3, clean_seconds=1e-3)
+        assert policy.should_rebuild(3, corrected_seconds=5e-3, clean_seconds=1e-3)
+
+    def test_slowdown_trigger_end_to_end(self, er_graph):
+        engine = QueryEngine(
+            DynamicKDash(er_graph, c=0.9, rebuild_threshold=None),
+            rebuild_policy=RebuildPolicy(max_rank=None, max_slowdown=1e-9),
+        )
+        for q in range(5):  # establish a clean-latency baseline
+            engine.top_k(q, 5)
+        engine.apply_updates(inserts=[(0, 50)])
+        engine.top_k(0, 5)  # corrected sample >> 1e-9x clean -> rebuild
+        assert engine.stats.rebuilds == 1
+        assert engine.dynamic.n_pending_columns == 0
+
+    def test_index_property_tracks_rebuilds(self, er_graph):
+        engine = QueryEngine(DynamicKDash(er_graph, c=0.9, rebuild_threshold=None))
+        before = engine.index
+        engine.apply_updates(inserts=[(0, 50)])
+        engine.rebuild()
+        assert engine.index is not before
+        assert engine.index.is_built
