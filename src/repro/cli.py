@@ -19,9 +19,17 @@ Commands
     optionally rebuild + re-save the index.
 ``serve``
     Run a mixed update/query operation stream (file or stdin) against a
-    saved index through the :class:`~repro.query.engine.QueryEngine` —
-    the update-then-serve loop of a living graph, with a configurable
-    rebuild policy.
+    saved index — in-process through the
+    :class:`~repro.query.engine.QueryEngine`, or, with ``--workers N``,
+    through the multi-process replica pool: updates flow through the
+    :class:`~repro.serving.publisher.SnapshotPublisher` and hot-swap
+    epoch-tagged snapshots into the workers, queries are micro-batched
+    and routed (``--router rr|hash``).  Final engine stats are printed
+    on shutdown either way.
+``loadgen``
+    Synthesise a query workload (zipf or uniform, optionally interleaved
+    with update/publish cycles) and drive it through the replica pool,
+    reporting throughput, hit rates and routing balance.
 ``experiment``
     Run a single paper experiment (fig2 ... table2, restart_sweep) and
     print its table.
@@ -38,6 +46,10 @@ Examples
     python -m repro.cli update --index citation.npz --add 0:5:2.0,3:4 \\
         --remove 1:2 --node 5 --output citation-v2.npz
     python -m repro.cli serve --index citation.npz --ops ops.txt --max-rank 32
+    python -m repro.cli serve --index citation.npz --ops ops.txt \\
+        --workers 4 --router hash --batch-size 64
+    python -m repro.cli loadgen --index citation.npz --workers 4 \\
+        --queries 5000 --dist zipf --update-every 1000
     python -m repro.cli experiment --name fig7 --scale 0.5
 
 ``serve`` operation files hold one operation per line (``#`` comments
@@ -226,59 +238,67 @@ def _cmd_update(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    """The ``serve`` path: a mixed update/query stream through the engine."""
-    import time
+def _print_engine_stats(stats: dict, header: str = "final engine stats:") -> None:
+    """Dump an EngineStats dict so operators see serving health at exit."""
+    print(header)
+    for key, value in stats.items():
+        if isinstance(value, float):
+            print(f"  {key}: {value:.4f}")
+        else:
+            print(f"  {key}: {value}")
 
-    from .core import DynamicKDash
-    from .exceptions import GraphError, NodeNotFoundError
-    from .query import QueryEngine, RebuildPolicy
 
-    index = load_index(args.index)
-    policy = RebuildPolicy(max_rank=args.max_rank, max_slowdown=args.max_slowdown)
-    engine = QueryEngine(
-        DynamicKDash.from_index(index, rebuild_threshold=None),
-        cache_size=args.cache_size,
-        rebuild_policy=policy,
-    )
-    graph = engine.dynamic.graph
-
+def _read_ops(args) -> Optional[List[str]]:
     if args.ops == "-":
-        lines = sys.stdin.read().splitlines()
-    else:
-        try:
-            with open(args.ops) as handle:
-                lines = handle.read().splitlines()
-        except OSError as exc:
-            print(f"error: cannot read ops file: {exc}")
-            return 2
+        return sys.stdin.read().splitlines()
+    try:
+        with open(args.ops) as handle:
+            return handle.read().splitlines()
+    except OSError as exc:
+        print(f"error: cannot read ops file: {exc}")
+        return None
+
+
+def _run_ops_stream(
+    lines: List[str],
+    default_k: int,
+    flush,
+    on_query,
+    on_batch,
+    on_rebuild,
+) -> int:
+    """Parse and dispatch the ``serve`` op grammar (shared by both modes).
+
+    One operation per line (``#`` comments allowed): ``add u v [w]``,
+    ``remove u v``, ``query n [k]``, ``batch n1,n2,... [k]``,
+    ``rebuild``.  Consecutive updates are buffered and flushed as one
+    batch when the next non-update operation (or end of stream)
+    arrives.
+
+    The serving mode plugs in behaviour via four handlers:
+    ``flush(inserts, deletes, first_lineno)`` applies one buffered
+    update batch and returns error text (or ``None``);
+    ``on_query(node, k)`` / ``on_batch(queries, k)`` / ``on_rebuild()``
+    serve one already-flushed operation.  Returns the process exit code.
+    """
+    from .exceptions import GraphError, NodeNotFoundError
 
     pending_inserts: List[tuple] = []
     pending_deletes: List[tuple] = []
     pending_lines: List[int] = []
 
-    def flush() -> Optional[str]:
-        """Apply buffered updates as one batch; error text on failure."""
+    def do_flush() -> Optional[str]:
         if not pending_inserts and not pending_deletes:
             return None
-        first_line = pending_lines[0]
         try:
-            report = engine.apply_updates(pending_inserts, pending_deletes)
-        except GraphError as exc:
-            return f"line {first_line}: {exc}"
+            return flush(
+                list(pending_inserts), list(pending_deletes), pending_lines[0]
+            )
         finally:
             pending_inserts.clear()
             pending_deletes.clear()
             pending_lines.clear()
-        tail = " -> rebuilt" if report.rebuilt else ""
-        print(
-            f"[epoch {engine.epoch}] applied batch: "
-            f"+{report.n_inserted}/-{report.n_deleted} edges, "
-            f"correction rank {report.pending_rank}{tail}"
-        )
-        return None
 
-    t_start = time.perf_counter()
     for lineno, raw in enumerate(lines, start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -294,56 +314,107 @@ def _cmd_serve(args) -> int:
             elif op == "remove" and len(rest) == 2:
                 pending_deletes.append((int(rest[0]), int(rest[1])))
                 pending_lines.append(lineno)
-            elif op == "query" and len(rest) in (1, 2):
-                error = flush()
+            elif (
+                (op == "query" and len(rest) in (1, 2))
+                or (op == "batch" and len(rest) in (1, 2))
+                or (op == "rebuild" and not rest)
+            ):
+                error = do_flush()
                 if error is not None:
                     print(f"error: {error}")
                     return 2
-                k = int(rest[1]) if len(rest) == 2 else args.k
-                result = engine.top_k(int(rest[0]), k)
-                stats = engine.last_stats
-                path = "corrected" if stats.corrected else (
-                    "cached" if stats.cache_hits else "pruned"
-                )
-                top_node, top_p = result.items[0]
-                print(
-                    f"query {rest[0]:>6s} top-{k}: {graph.label_of(top_node)} "
-                    f"{top_p:.8f}  [{path}, epoch {stats.epoch}, "
-                    f"rank {stats.pending_rank}]"
-                )
-            elif op == "batch" and len(rest) in (1, 2):
-                error = flush()
-                if error is not None:
-                    print(f"error: {error}")
-                    return 2
-                k = int(rest[1]) if len(rest) == 2 else args.k
-                queries = [int(tok) for tok in rest[0].split(",") if tok.strip()]
-                engine.top_k_many(queries, k)
-                stats = engine.last_stats
-                path = "corrected" if stats.corrected else "pruned"
-                print(
-                    f"batch of {stats.n_queries} queries: "
-                    f"{stats.queries_per_second:,.0f} q/s, "
-                    f"{stats.executed} scans, {stats.dedup_hits} deduped, "
-                    f"{stats.cache_hits} cache hits  [{path}]"
-                )
-            elif op == "rebuild" and not rest:
-                error = flush()
-                if error is not None:
-                    print(f"error: {error}")
-                    return 2
-                engine.rebuild()
-                print(f"[epoch {engine.epoch}] forced rebuild (#{engine.stats.rebuilds})")
+                if op == "query":
+                    k = int(rest[1]) if len(rest) == 2 else default_k
+                    on_query(int(rest[0]), k)
+                elif op == "batch":
+                    k = int(rest[1]) if len(rest) == 2 else default_k
+                    queries = [
+                        int(tok) for tok in rest[0].split(",") if tok.strip()
+                    ]
+                    on_batch(queries, k)
+                else:
+                    on_rebuild()
             else:
                 print(f"error: line {lineno}: unrecognised operation {line!r}")
                 return 2
         except (GraphError, NodeNotFoundError, ValueError) as exc:
             print(f"error: line {lineno}: {exc}")
             return 2
-    error = flush()
+    error = do_flush()
     if error is not None:
         print(f"error: {error}")
         return 2
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """The ``serve`` path: a mixed update/query stream through the engine."""
+    import time
+
+    from .core import DynamicKDash
+    from .exceptions import GraphError
+    from .query import QueryEngine, RebuildPolicy
+
+    lines = _read_ops(args)
+    if lines is None:
+        return 2
+    if args.workers:
+        return _serve_pool(args, lines)
+
+    index = load_index(args.index)
+    policy = RebuildPolicy(max_rank=args.max_rank, max_slowdown=args.max_slowdown)
+    engine = QueryEngine(
+        DynamicKDash.from_index(index, rebuild_threshold=None),
+        cache_size=args.cache_size,
+        rebuild_policy=policy,
+    )
+    graph = engine.dynamic.graph
+
+    def flush(inserts, deletes, first_line) -> Optional[str]:
+        try:
+            report = engine.apply_updates(inserts, deletes)
+        except GraphError as exc:
+            return f"line {first_line}: {exc}"
+        tail = " -> rebuilt" if report.rebuilt else ""
+        print(
+            f"[epoch {engine.epoch}] applied batch: "
+            f"+{report.n_inserted}/-{report.n_deleted} edges, "
+            f"correction rank {report.pending_rank}{tail}"
+        )
+        return None
+
+    def on_query(node: int, k: int) -> None:
+        result = engine.top_k(node, k)
+        stats = engine.last_stats
+        path = "corrected" if stats.corrected else (
+            "cached" if stats.cache_hits else "pruned"
+        )
+        top_node, top_p = result.items[0]
+        print(
+            f"query {node:>6d} top-{k}: {graph.label_of(top_node)} "
+            f"{top_p:.8f}  [{path}, epoch {stats.epoch}, "
+            f"rank {stats.pending_rank}]"
+        )
+
+    def on_batch(queries: List[int], k: int) -> None:
+        engine.top_k_many(queries, k)
+        stats = engine.last_stats
+        path = "corrected" if stats.corrected else "pruned"
+        print(
+            f"batch of {stats.n_queries} queries: "
+            f"{stats.queries_per_second:,.0f} q/s, "
+            f"{stats.executed} scans, {stats.dedup_hits} deduped, "
+            f"{stats.cache_hits} cache hits  [{path}]"
+        )
+
+    def on_rebuild() -> None:
+        engine.rebuild()
+        print(f"[epoch {engine.epoch}] forced rebuild (#{engine.stats.rebuilds})")
+
+    t_start = time.perf_counter()
+    code = _run_ops_stream(lines, args.k, flush, on_query, on_batch, on_rebuild)
+    if code != 0:
+        return code
     total = time.perf_counter() - t_start
 
     agg = engine.stats
@@ -355,6 +426,179 @@ def _cmd_serve(args) -> int:
         f"{agg.corrected_queries} corrected scans, "
         f"hit rate {agg.hit_rate:.2f}"
     )
+    _print_engine_stats(engine.stats.as_dict())
+    return 0
+
+
+def _serve_pool(args, lines: List[str]) -> int:
+    """``serve --workers N``: the stream through the replica-pool tier.
+
+    Updates flow through the single-writer publisher (one snapshot per
+    flushed batch, hot-swapped into every worker at a barrier); queries
+    and batches are micro-batched and routed by the configured policy.
+    """
+    import tempfile
+    import time
+
+    from .core import DynamicKDash
+    from .exceptions import GraphError
+    from .query import QueryEngine
+    from .serving import (
+        MicroBatchScheduler,
+        ReplicaPool,
+        SnapshotPublisher,
+        SnapshotStore,
+    )
+
+    index = load_index(args.index)
+    graph_labels = index.graph
+    publisher_engine = QueryEngine(
+        DynamicKDash.from_index(index, rebuild_threshold=None)
+    )
+
+    with tempfile.TemporaryDirectory(prefix="kdash-snapshots-") as default_dir:
+        store = SnapshotStore(args.snapshot_dir or default_dir)
+        publisher = SnapshotPublisher(publisher_engine, store)
+        snapshot = publisher.publish()
+        print(
+            f"published snapshot epoch {snapshot.epoch}; starting "
+            f"{args.workers} workers (router {args.router}, "
+            f"batch size {args.batch_size})"
+        )
+        pool = ReplicaPool(snapshot, args.workers, cache_size=args.cache_size)
+        scheduler = MicroBatchScheduler(
+            pool, router=args.router, batch_size=args.batch_size
+        )
+
+        def flush(inserts, deletes, first_line) -> Optional[str]:
+            try:
+                report, snap = publisher.apply_and_publish(inserts, deletes)
+            except GraphError as exc:
+                return f"line {first_line}: {exc}"
+            scheduler.publish(snap)
+            print(
+                f"[epoch {snap.epoch}] published batch: "
+                f"+{report.n_inserted}/-{report.n_deleted} edges, "
+                f"hot-swapped {pool.n_workers} workers"
+            )
+            return None
+
+        def on_query(node: int, k: int) -> None:
+            result = scheduler.run([node], k)[0]
+            top_node, top_p = result.items[0]
+            print(
+                f"query {node:>6d} top-{k}: "
+                f"{graph_labels.label_of(top_node)} "
+                f"{top_p:.8f}  [epoch {pool.snapshot.epoch}]"
+            )
+
+        def on_batch(queries: List[int], k: int) -> None:
+            t0 = time.perf_counter()
+            scheduler.run(queries, k)
+            seconds = time.perf_counter() - t0
+            print(
+                f"batch of {len(queries)} queries: "
+                f"{len(queries) / seconds:,.0f} q/s across "
+                f"{pool.n_workers} workers  [epoch {pool.snapshot.epoch}]"
+            )
+
+        def on_rebuild() -> None:
+            publisher.engine.rebuild()
+            snap = publisher.publish()
+            scheduler.publish(snap)
+            print(f"[epoch {snap.epoch}] forced rebuild published and hot-swapped")
+
+        t_start = time.perf_counter()
+        try:
+            code = _run_ops_stream(
+                lines, args.k, flush, on_query, on_batch, on_rebuild
+            )
+            if code != 0:
+                return code
+            total = time.perf_counter() - t_start
+            per_worker = scheduler.collect_stats()
+            agg = scheduler.aggregate_stats(per_worker)
+            print(
+                f"served {agg['queries_served']} queries in {total:.2f}s "
+                f"across {pool.n_workers} workers: "
+                f"{agg['snapshot_swaps']} snapshot swaps, "
+                f"hit rate {agg['hit_rate']:.2f}, "
+                f"routed {scheduler.routed_counts}"
+            )
+            _print_engine_stats(agg, header="final pool stats:")
+            _print_engine_stats(
+                publisher.engine.stats.as_dict(), header="final publisher stats:"
+            )
+        finally:
+            pool.close()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """The ``loadgen`` path: synthetic traffic through the replica pool."""
+    import json
+    import tempfile
+
+    from .core import DynamicKDash
+    from .query import QueryEngine
+    from .serving import (
+        MicroBatchScheduler,
+        ReplicaPool,
+        SnapshotPublisher,
+        SnapshotStore,
+        make_queries,
+        run_load,
+    )
+
+    index = load_index(args.index)
+    n = index.graph.n_nodes
+    publisher_engine = QueryEngine(
+        DynamicKDash.from_index(index, rebuild_threshold=None)
+    )
+    queries = make_queries(n, args.queries, args.dist, seed=args.seed)
+
+    with tempfile.TemporaryDirectory(prefix="kdash-snapshots-") as default_dir:
+        store = SnapshotStore(args.snapshot_dir or default_dir)
+        publisher = SnapshotPublisher(publisher_engine, store)
+        snapshot = publisher.publish()
+        print(
+            f"index: n={n:,} nodes; workload: {args.queries} {args.dist} "
+            f"queries, k={args.k}, {args.workers} workers, "
+            f"router {args.router}, batch size {args.batch_size}"
+        )
+        with ReplicaPool(
+            snapshot, args.workers, cache_size=args.cache_size
+        ) as pool:
+            scheduler = MicroBatchScheduler(
+                pool, router=args.router, batch_size=args.batch_size
+            )
+            report = run_load(
+                scheduler,
+                queries,
+                k=args.k,
+                publisher=publisher if args.update_every else None,
+                update_every=args.update_every,
+                updates_per_batch=args.updates_per_batch,
+                seed=args.seed,
+                router_name=args.router,
+            )
+    print(
+        f"served {report.n_queries} queries in {report.seconds:.2f}s: "
+        f"{report.queries_per_second:,.0f} q/s, "
+        f"hit rate {report.pool_stats['hit_rate']:.2f}, "
+        f"routed {report.routed_counts}"
+    )
+    if report.update_batches:
+        print(
+            f"churn: {report.update_batches} update batches "
+            f"({report.updates_applied} edges), "
+            f"{report.snapshots_published} snapshots hot-swapped"
+        )
+    _print_engine_stats(report.pool_stats, header="final pool stats:")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -459,7 +703,60 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="rebuild once corrected queries are this many times slower than clean ones",
     )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve through a replica pool of this many worker processes "
+        "(0 = in-process serving)",
+    )
+    p_serve.add_argument(
+        "--router",
+        default="rr",
+        choices=("rr", "hash"),
+        help="pool request routing: round-robin load spread or "
+        "consistent-hash root affinity",
+    )
+    p_serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="micro-batch flush threshold per worker (pool mode)",
+    )
+    p_serve.add_argument(
+        "--snapshot-dir",
+        help="directory for published snapshots (default: a temp dir)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive synthetic traffic through the replica pool"
+    )
+    p_load.add_argument("--index", required=True)
+    p_load.add_argument("--workers", type=int, default=2)
+    p_load.add_argument("--router", default="rr", choices=("rr", "hash"))
+    p_load.add_argument("--batch-size", type=int, default=32)
+    p_load.add_argument("--queries", type=int, default=1000)
+    p_load.add_argument("--dist", default="zipf", choices=("zipf", "uniform"))
+    p_load.add_argument("--k", type=int, default=10)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--cache-size", type=int, default=1024)
+    p_load.add_argument(
+        "--update-every",
+        type=int,
+        default=0,
+        help="publish one update batch + snapshot hot-swap every this many "
+        "queries (0 = read-only workload)",
+    )
+    p_load.add_argument(
+        "--updates-per-batch",
+        type=int,
+        default=4,
+        help="edge updates per published batch",
+    )
+    p_load.add_argument("--snapshot-dir", help="snapshot directory (default: temp)")
+    p_load.add_argument("--json", help="write the loadgen report here as JSON")
+    p_load.set_defaults(func=_cmd_loadgen)
 
     p_exp = sub.add_parser("experiment", help="run one paper experiment")
     p_exp.add_argument("--name", required=True, choices=_EXPERIMENTS)

@@ -10,6 +10,22 @@ Format: a single ``.npz`` archive holding the permutation, both sparse
 inverses (CSC/CSR triples), the estimator arrays, the restart
 probability, and the graph's weighted edge list (needed to rebuild the
 BFS schedule at query time).
+
+Two format versions exist:
+
+- **v1** stored only the factor state; loading re-derived every
+  query-invariant cache (successor lists, per-query proximity mass, the
+  :class:`~repro.query.prepared.PreparedIndex` mirrors).
+- **v2** (current) additionally persists the ``PreparedIndex``
+  query-invariant caches — the flattened successor lists and the exact
+  per-query proximity mass ``S(q)`` — so a loading process (e.g. a
+  replica-pool worker adopting a published snapshot) skips the
+  re-preparation work entirely.
+
+v1 archives load transparently (their caches are rebuilt on load);
+archives from *future* versions are rejected with a clear
+:class:`~repro.exceptions.SerializationError` instead of a numpy
+``KeyError`` deep in the arrays.
 """
 
 from __future__ import annotations
@@ -22,19 +38,41 @@ from ..ordering.permutation import Permutation
 from ..sparse import CSCMatrix, CSRMatrix
 from .kdash import KDash
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Versions this module knows how to read.
+_READABLE_VERSIONS = (1, 2)
 
 
-def save_index(index: KDash, path: str) -> None:
-    """Serialise a built index to ``path`` (numpy ``.npz``).
+def save_index(index, path: str) -> None:
+    """Serialise a built index to ``path`` (numpy ``.npz``, format v2).
+
+    Accepts a built :class:`~repro.core.kdash.KDash` or a
+    :class:`~repro.core.dynamic.DynamicKDash` whose update batch has
+    been fully compacted (``rebuild()`` flattens pending corrections
+    into the base index).
 
     Raises
     ------
     IndexNotBuiltError
         If ``index.build()`` has not run.
     SerializationError
-        On I/O failure.
+        On I/O failure, or when ``index`` is a dynamic wrapper with
+        pending uncompacted corrections — persisting its base index
+        would silently drop those updates from the archive.
     """
+    # Duck-typed dynamic detection (mirrors QueryEngine): a DynamicKDash
+    # exposes base_index + n_pending_columns, a plain KDash does not.
+    if hasattr(index, "base_index"):
+        pending = index.n_pending_columns
+        if pending:
+            raise SerializationError(
+                f"cannot save a DynamicKDash with {pending} pending corrected "
+                f"column{'s' if pending != 1 else ''}: the base index does not "
+                "reflect the applied updates yet; call rebuild() to compact "
+                "them first"
+            )
+        index = index.base_index
     if not index.is_built:
         raise IndexNotBuiltError("cannot save an index that has not been built")
     graph = index.graph
@@ -43,6 +81,17 @@ def save_index(index: KDash, path: str) -> None:
     dst = np.asarray([v for _, v, _ in edges], dtype=np.int64)
     wgt = np.asarray([w for _, _, w in edges], dtype=np.float64)
     labels = np.asarray(graph.labels if graph.labels is not None else [], dtype=object)
+    # The PreparedIndex caches, flattened for the archive: successor
+    # lists as a CSR-style (indptr, indices) pair, the proximity mass as
+    # a dense vector.  Persisting them verbatim (instead of re-deriving
+    # on load) both skips the preparation cost and guarantees the loaded
+    # index scans nodes in the exact order the saved one did.
+    succ_lists = index._succ_lists
+    succ_indptr = np.zeros(graph.n_nodes + 1, dtype=np.int64)
+    np.cumsum([len(s) for s in succ_lists], out=succ_indptr[1:])
+    succ_indices = np.asarray(
+        [v for s in succ_lists for v in s], dtype=np.int64
+    )
     try:
         np.savez_compressed(
             path,
@@ -63,6 +112,9 @@ def save_index(index: KDash, path: str) -> None:
             edge_dst=dst,
             edge_weight=wgt,
             labels=labels,
+            succ_indptr=succ_indptr,
+            succ_indices=succ_indices,
+            total_mass_perm=index._total_mass_perm,
             allow_pickle=True,
         )
     except OSError as exc:
@@ -74,7 +126,9 @@ def load_index(path: str) -> KDash:
 
     The returned object is query-ready (``is_built`` is ``True``); its
     ``build_report`` is ``None`` because the precomputation happened in a
-    previous process.
+    previous process.  v2 archives restore the persisted
+    :class:`~repro.query.prepared.PreparedIndex` caches directly; v1
+    archives rebuild them on load.
     """
     import pickle
     import zipfile
@@ -84,9 +138,11 @@ def load_index(path: str) -> KDash:
     except (OSError, ValueError, EOFError, pickle.UnpicklingError, zipfile.BadZipFile) as exc:
         raise SerializationError(f"cannot read index from {path!r}: {exc}") from exc
     version = int(archive["format_version"])
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise SerializationError(
-            f"index format version {version} not supported (expected {_FORMAT_VERSION})"
+            f"index archive {path!r} has format version {version}; this "
+            f"build reads versions {_READABLE_VERSIONS} — the archive was "
+            "written by a newer release"
         )
     n = int(archive["n_nodes"])
     labels_arr = archive["labels"]
@@ -113,9 +169,22 @@ def load_index(path: str) -> KDash:
     index._amax = float(archive["amax"])
     index._diag = np.asarray(archive["diag"], dtype=np.float64)
 
-    # Rebuild the query-path acceleration structures (scipy copies,
-    # successor lists, total proximity mass, PreparedIndex) exactly as
-    # build() does — they are derived data, cheaper to recompute than to
-    # store.  Sets index._built.
-    index._finalise_query_path()
+    if version >= 2:
+        # Restore the persisted PreparedIndex caches: unflatten the
+        # successor lists and hand the proximity mass straight through —
+        # no adjacency conversion, no triangular products.
+        indptr = np.asarray(archive["succ_indptr"], dtype=np.int64)
+        indices = archive["succ_indices"].tolist()
+        succ_lists = [
+            indices[indptr[u] : indptr[u + 1]] for u in range(n)
+        ]
+        index._finalise_query_path(
+            succ_lists=succ_lists,
+            total_mass_perm=archive["total_mass_perm"],
+        )
+    else:
+        # v1 archive: rebuild the query-path acceleration structures
+        # (scipy copies, successor lists, total proximity mass,
+        # PreparedIndex) exactly as build() does.  Sets index._built.
+        index._finalise_query_path()
     return index

@@ -173,17 +173,25 @@ class KDash:
         )
         return self
 
-    def _finalise_query_path(self) -> None:
+    def _finalise_query_path(
+        self,
+        succ_lists: Optional[List[List[int]]] = None,
+        total_mass_perm: Optional[np.ndarray] = None,
+    ) -> None:
         """Derive every query-invariant structure from the factor state.
 
         Called at the end of :meth:`build` and by
-        :func:`repro.core.index_io.load_index` (the derived data is
-        cheaper to recompute than to store).  Requires ``_perm``,
+        :func:`repro.core.index_io.load_index`.  Requires ``_perm``,
         ``_l_inv``, ``_u_inv``, ``_amax_col``, ``_amax`` and ``_diag``;
         produces the scipy copies, the exact per-query proximity mass,
         and the :class:`~repro.query.prepared.PreparedIndex` that makes
         per-query setup O(1) — all ``tolist()`` conversions and the
         ``c'`` computation happen exactly once, here.
+
+        ``succ_lists`` / ``total_mass_perm`` let a version-2 snapshot
+        load (:func:`repro.core.index_io.load_index`) hand the persisted
+        caches straight in, skipping the adjacency conversion and the
+        two triangular products they would otherwise cost.
         """
         n = self.graph.n_nodes
         # scipy copies for vectorised full-vector products: U^-1 (CSR)
@@ -197,11 +205,13 @@ class KDash:
         # graphs (<~10), list iteration beats numpy slicing by a wide
         # margin, and the query loop is pure overhead around one numpy
         # dot per visited node.
-        adj = self.graph.adjacency_csc().to_scipy()
-        self._succ_lists = [
-            adj.indices[adj.indptr[u] : adj.indptr[u + 1]].tolist()
-            for u in range(n)
-        ]
+        if succ_lists is None:
+            adj = self.graph.adjacency_csc().to_scipy()
+            succ_lists = [
+                adj.indices[adj.indptr[u] : adj.indptr[u + 1]].tolist()
+                for u in range(n)
+            ]
+        self._succ_lists = succ_lists
         self._position_list = self._perm.position.tolist()
 
         # Exact per-query total proximity mass S(q) = c * 1^T W^-1 e_q,
@@ -210,9 +220,11 @@ class KDash:
         # nodes; using the exact value keeps the bound valid and tight
         # (see ProximityEstimator docs).  The 1e-12 cushion absorbs
         # floating-point underestimation; the clamp keeps it a probability.
-        ones = np.ones(n, dtype=np.float64)
-        column_sums = self._l_inv_scipy.T @ (self._u_inv_scipy.T @ ones)
-        self._total_mass_perm = np.minimum(1.0, self.c * column_sums + 1e-12)
+        if total_mass_perm is None:
+            ones = np.ones(n, dtype=np.float64)
+            column_sums = self._l_inv_scipy.T @ (self._u_inv_scipy.T @ ones)
+            total_mass_perm = np.minimum(1.0, self.c * column_sums + 1e-12)
+        self._total_mass_perm = np.asarray(total_mass_perm, dtype=np.float64)
 
         self._prepared = PreparedIndex(
             n=n,

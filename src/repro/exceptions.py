@@ -82,3 +82,12 @@ class IndexNotBuiltError(ReproError, RuntimeError):
 
 class SerializationError(ReproError, RuntimeError):
     """An index or graph could not be saved to / loaded from disk."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """The multi-process serving tier failed operationally.
+
+    Examples: a replica worker died while batches were outstanding, a
+    snapshot hot-swap was not acknowledged within the timeout, or the
+    pool was used after :meth:`~repro.serving.replica.ReplicaPool.close`.
+    """

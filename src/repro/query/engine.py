@@ -193,6 +193,10 @@ class QueryEngine:
         self.last_stats: Optional[QueryStats] = None
         self.stats = EngineStats()
         self.epoch = 0
+        # Epoch tag of the snapshot this engine last adopted (replica
+        # workers set it at load time and on every hot-swap); None for
+        # an engine that never served from a published snapshot.
+        self.snapshot_epoch: Optional[int] = None
         # Per-executed-scan wall-clock EWMAs feeding the latency trigger
         # of RebuildPolicy.max_slowdown.
         self._clean_seconds: Optional[float] = None
@@ -217,6 +221,59 @@ class QueryEngine:
     def dynamic(self) -> Optional["DynamicKDash"]:
         """The dynamic wrapper, or ``None`` on a static engine."""
         return self._dynamic
+
+    def swap_index(self, index, source_epoch: Optional[int] = None) -> None:
+        """Hot-swap a *different* built index in behind this engine.
+
+        The replica-worker half of snapshot publication: a worker holds
+        a static engine over the current snapshot, and when the
+        publisher announces a new epoch it loads the archive and swaps
+        it in here *between* micro-batches.  Unlike :meth:`rebuild`
+        (same answers, fresh fast path) the new index generally reflects
+        **new graph state**, so the result cache is dropped atomically
+        and :attr:`epoch` advances — a cached result can never outlive
+        the snapshot it was computed on.
+
+        Parameters
+        ----------
+        index:
+            A :class:`~repro.core.kdash.KDash` (built on the spot if
+            needed).  Dynamic engines own their index lifecycle through
+            :meth:`apply_updates`/:meth:`rebuild` and are rejected here.
+        source_epoch:
+            The publisher's epoch tag for the adopted snapshot, recorded
+            on :attr:`snapshot_epoch` and :class:`EngineStats` for
+            observability.
+
+        Examples
+        --------
+        >>> from repro.graph import star_graph
+        >>> from repro.core import KDash
+        >>> engine = QueryEngine(KDash(star_graph(4), c=0.9))
+        >>> _ = engine.top_k(1, 2)
+        >>> engine.swap_index(KDash(star_graph(5), c=0.9), source_epoch=7)
+        >>> (engine.epoch, engine.snapshot_epoch, engine.cache_info()[0])
+        (1, 7, 0)
+        """
+        if self._dynamic is not None:
+            raise InvalidParameterError(
+                "swap_index requires a static engine; dynamic engines swap "
+                "indexes through apply_updates/rebuild"
+            )
+        if not index.is_built:
+            index.build()
+        self._static_index = index
+        self.epoch += 1
+        self._cache.clear()
+        self.stats.invalidations += 1
+        self.stats.current_epoch = self.epoch
+        self.stats.snapshot_swaps += 1
+        if source_epoch is not None:
+            self.snapshot_epoch = int(source_epoch)
+            self.stats.snapshot_epoch = self.snapshot_epoch
+        # The latency EWMAs described the old index's scan profile.
+        self._clean_seconds = None
+        self._corrected_seconds = None
 
     def _pending_rank(self) -> int:
         return self._dynamic.n_pending_columns if self._dynamic is not None else 0
@@ -626,6 +683,7 @@ class QueryEngine:
         self.stats = EngineStats(
             current_epoch=self.epoch,
             rebuilds=self._dynamic.n_rebuilds if self._dynamic else 0,
+            snapshot_epoch=self.snapshot_epoch,
         )
         self.history.clear()
         self.last_stats = None

@@ -116,6 +116,8 @@ class EngineStats:
     invalidations: int = 0
     rebuilds: int = 0
     current_epoch: int = 0
+    snapshot_swaps: int = 0
+    snapshot_epoch: Optional[int] = None
 
     def record(self, stats: QueryStats) -> None:
         """Fold one per-call record into the lifetime aggregates."""
@@ -153,4 +155,6 @@ class EngineStats:
             "invalidations": self.invalidations,
             "rebuilds": self.rebuilds,
             "current_epoch": self.current_epoch,
+            "snapshot_swaps": self.snapshot_swaps,
+            "snapshot_epoch": self.snapshot_epoch,
         }

@@ -1,0 +1,62 @@
+"""The multi-process serving tier: replicas, snapshots, scheduling.
+
+The paper's deployment model is "precompute once, serve sub-millisecond
+queries forever"; this package is the *forever* part at multi-core
+scale.  One writer, many readers, a filesystem of immutable snapshots
+between them:
+
+- :mod:`repro.serving.snapshot` — :class:`SnapshotStore`, epoch-tagged
+  atomic publication of v2 index archives (which persist the
+  ``PreparedIndex`` caches, so adopting a snapshot skips
+  re-preparation);
+- :mod:`repro.serving.publisher` — :class:`SnapshotPublisher`, the
+  single writer: dynamic update batches in (through
+  ``DynamicKDash``/``RebuildPolicy``), compacted snapshots out;
+- :mod:`repro.serving.replica` — :class:`ReplicaPool`, N worker
+  processes each serving a read-only engine over the current snapshot,
+  hot-swapping between micro-batches;
+- :mod:`repro.serving.router` — :class:`RoundRobinRouter` (load
+  spread) and :class:`ConsistentHashRouter` (root→replica affinity for
+  LRU-cache locality);
+- :mod:`repro.serving.scheduler` — :class:`MicroBatchScheduler`,
+  request routing + micro-batch formation + the barrier that makes a
+  snapshot swap invisible to in-flight queries;
+- :mod:`repro.serving.loadgen` — seeded workload generation and the
+  measured load driver behind ``cli loadgen`` and
+  ``benchmarks/bench_serving_scaleout.py``.
+
+Exactness contract: a query stream served by the pool — including
+streams interleaved with update batches across snapshot hot-swaps — is
+bit-identical to the same stream served by one
+:class:`~repro.query.engine.QueryEngine`.
+"""
+
+from .loadgen import LoadgenReport, make_queries, make_update_batch, run_load
+from .publisher import SnapshotPublisher
+from .replica import ReplicaPool
+from .router import (
+    ConsistentHashRouter,
+    ROUTER_NAMES,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from .scheduler import MicroBatchScheduler
+from .snapshot import Snapshot, SnapshotStore
+
+__all__ = [
+    "Snapshot",
+    "SnapshotStore",
+    "SnapshotPublisher",
+    "ReplicaPool",
+    "MicroBatchScheduler",
+    "Router",
+    "RoundRobinRouter",
+    "ConsistentHashRouter",
+    "make_router",
+    "ROUTER_NAMES",
+    "make_queries",
+    "make_update_batch",
+    "run_load",
+    "LoadgenReport",
+]

@@ -1,0 +1,207 @@
+"""Load generation for the serving tier: streams in, throughput out.
+
+Shared by the ``loadgen`` CLI subcommand and
+``benchmarks/bench_serving_scaleout.py`` so both exercise the pool the
+same way.  Two knobs matter for a K-dash replica pool and both are
+modelled here:
+
+- **query skew** — real proximity traffic is zipf-like (a few hot roots
+  dominate).  Skew is what separates the routing policies: consistent
+  hashing turns repetition into per-replica cache hits, round-robin
+  smears it across workers.
+- **update churn** — a stream can interleave edge-update batches; each
+  batch flows through the :class:`~repro.serving.publisher.SnapshotPublisher`
+  and hot-swaps the pool, exactly the production write path.
+
+Everything is seeded and deterministic: the same spec replayed against
+a single-process engine must produce bit-identical results (the
+equivalence tests rely on it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+#: Query distributions understood by :func:`make_queries`.
+QUERY_DISTS = ("zipf", "uniform")
+
+
+def make_queries(
+    n_nodes: int,
+    count: int,
+    dist: str = "zipf",
+    seed: int = 0,
+    zipf_a: float = 1.3,
+) -> List[int]:
+    """A reproducible query stream over ``0..n_nodes-1``.
+
+    ``zipf`` maps zipf ranks onto node ids (node 0 hottest) — the skewed
+    shape of production traffic; ``uniform`` is the cache-hostile
+    baseline.
+    """
+    if dist not in QUERY_DISTS:
+        raise InvalidParameterError(
+            f"unknown query distribution {dist!r}; expected one of {QUERY_DISTS}"
+        )
+    rng = np.random.default_rng(seed)
+    if dist == "zipf":
+        ranks = rng.zipf(zipf_a, size=count)
+        return np.minimum(ranks - 1, n_nodes - 1).astype(np.int64).tolist()
+    return rng.integers(n_nodes, size=count).astype(np.int64).tolist()
+
+
+def make_update_batch(
+    graph,
+    size: int,
+    rng: np.random.Generator,
+) -> Tuple[List[tuple], List[Tuple[int, int]]]:
+    """One mixed insert/delete batch, applied to ``graph`` as it is drawn.
+
+    Mutating ``graph`` (the caller's scratch copy) while drawing keeps
+    every delete aimed at an existing edge, so the identical batch list
+    replays cleanly against any consumer.  Each ``(u, v)`` pair is
+    touched at most once per batch: ``apply_updates`` replays deletes
+    *before* inserts, so a batch that inserted an edge and then deleted
+    it again would order the delete first and crash on a missing edge.
+
+    On very small graphs the pair space can be exhausted before ``size``
+    is reached; the batch is then simply smaller (never empty — a graph
+    needs at least two nodes, enforced here).
+    """
+    n = graph.n_nodes
+    if n < 2:
+        raise InvalidParameterError(
+            f"update batches need at least 2 nodes, got a graph with {n}"
+        )
+    inserts: List[tuple] = []
+    deletes: List[Tuple[int, int]] = []
+    touched: set = set()
+    attempts = 0
+    while len(inserts) + len(deletes) < size and attempts < 100 * size:
+        attempts += 1
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v or (u, v) in touched:
+            continue
+        if graph.has_edge(u, v) and rng.random() < 0.25:
+            graph.remove_edge(u, v)
+            deletes.append((u, v))
+            touched.add((u, v))
+        elif not graph.has_edge(u, v):
+            weight = float(rng.integers(1, 4))
+            graph.add_edge(u, v, weight)
+            inserts.append((u, v, weight))
+            touched.add((u, v))
+    return inserts, deletes
+
+
+@dataclass
+class LoadgenReport:
+    """What one load run did and how fast it went."""
+
+    n_queries: int
+    k: int
+    workers: int
+    router: str
+    batch_size: int
+    seconds: float
+    update_batches: int = 0
+    updates_applied: int = 0
+    snapshots_published: int = 0
+    pool_stats: Dict[str, object] = field(default_factory=dict)
+    per_worker_stats: List[dict] = field(default_factory=list)
+    routed_counts: List[int] = field(default_factory=list)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.n_queries / self.seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_queries": self.n_queries,
+            "k": self.k,
+            "workers": self.workers,
+            "router": self.router,
+            "batch_size": self.batch_size,
+            "seconds": self.seconds,
+            "queries_per_second": self.queries_per_second,
+            "update_batches": self.update_batches,
+            "updates_applied": self.updates_applied,
+            "snapshots_published": self.snapshots_published,
+            "pool_stats": self.pool_stats,
+            "routed_counts": list(self.routed_counts),
+        }
+
+
+def run_load(
+    scheduler,
+    queries: Sequence[int],
+    k: int = 10,
+    publisher=None,
+    update_every: int = 0,
+    updates_per_batch: int = 4,
+    seed: int = 0,
+    router_name: str = "?",
+) -> LoadgenReport:
+    """Push a query stream through a scheduler, optionally churning updates.
+
+    With ``update_every > 0`` (and a ``publisher``), after every
+    ``update_every`` queries one update batch is applied through the
+    publisher and the resulting snapshot is hot-swapped into the pool —
+    the full write path, measured inline with the reads.
+
+    The scheduler's buffers are flushed at chunk boundaries and the run
+    is fully drained before timing stops, so ``seconds`` covers every
+    scheduled query.
+    """
+    if update_every and publisher is None:
+        raise InvalidParameterError(
+            "update_every needs a SnapshotPublisher to apply batches through"
+        )
+    rng = np.random.default_rng(seed + 1)
+    scratch = publisher.engine.dynamic.graph.copy() if publisher else None
+    queries = list(queries)
+    chunk = update_every if update_every else len(queries) or 1
+    update_batches = updates_applied = snapshots = 0
+    seqs: List[int] = []
+
+    t0 = time.perf_counter()
+    for start in range(0, len(queries), chunk):
+        for q in queries[start : start + chunk]:
+            seqs.append(scheduler.submit(q, k))
+        if update_every and start + chunk < len(queries):
+            inserts, deletes = make_update_batch(
+                scratch, updates_per_batch, rng
+            )
+            report, snapshot = publisher.apply_and_publish(inserts, deletes)
+            scheduler.publish(snapshot)
+            update_batches += 1
+            updates_applied += report.n_inserted + report.n_deleted
+            snapshots += 1
+    scheduler.drain()
+    seconds = time.perf_counter() - t0
+
+    results = scheduler.take_results(seqs)
+    assert len(results) == len(queries)
+    per_worker = scheduler.collect_stats()
+    return LoadgenReport(
+        n_queries=len(queries),
+        k=k,
+        workers=scheduler.pool.n_workers,
+        router=router_name,
+        batch_size=scheduler.batch_size,
+        seconds=seconds,
+        update_batches=update_batches,
+        updates_applied=updates_applied,
+        snapshots_published=snapshots,
+        pool_stats=scheduler.aggregate_stats(per_worker),
+        per_worker_stats=per_worker,
+        routed_counts=list(scheduler.routed_counts),
+    )

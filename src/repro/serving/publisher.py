@@ -1,0 +1,83 @@
+"""The publisher: dynamic updates in, epoch-tagged snapshots out.
+
+The serving tier splits the engine's two roles across processes:
+
+- **replicas** hold read-only snapshots and burn CPU on queries;
+- exactly one **publisher** owns the mutable
+  :class:`~repro.core.dynamic.DynamicKDash` (wrapped in a
+  :class:`~repro.query.engine.QueryEngine` so the
+  :class:`~repro.query.engine.RebuildPolicy` machinery applies
+  unchanged) and turns update batches into snapshots.
+
+Publication must compact first: a snapshot is the *base* index archive,
+and :func:`~repro.core.index_io.save_index` refuses a dynamic wrapper
+with pending Woodbury corrections — the corrections live in publisher
+memory, not in the archive.  :meth:`SnapshotPublisher.publish` therefore
+forces a :meth:`~repro.query.engine.QueryEngine.rebuild` whenever
+corrections are pending, then writes the next epoch.  The publisher's
+engine remains a fully exact serving surface of its own (it answers
+corrected queries between publications), which is what the equivalence
+tests compare the pool against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..exceptions import InvalidParameterError
+from ..query.engine import QueryEngine
+from .snapshot import Snapshot, SnapshotStore
+
+
+class SnapshotPublisher:
+    """Own the mutable index; publish compacted snapshots per update batch.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.query.engine.QueryEngine` over a
+        :class:`~repro.core.dynamic.DynamicKDash` — the single writer.
+        Its rebuild policy (if any) keeps working between publications.
+    store:
+        The :class:`~repro.serving.snapshot.SnapshotStore` to publish
+        into.
+    """
+
+    def __init__(self, engine: QueryEngine, store: SnapshotStore) -> None:
+        if engine.dynamic is None:
+            raise InvalidParameterError(
+                "SnapshotPublisher requires a DynamicKDash-backed engine "
+                "(the publisher is the writer role)"
+            )
+        self.engine = engine
+        self.store = store
+
+    @property
+    def latest(self) -> Snapshot:
+        """The most recently published snapshot (publishing epoch 0 on
+        first use so a fresh store always has a bootable snapshot)."""
+        snapshot = self.store.latest()
+        if snapshot is None:
+            snapshot = self.publish()
+        return snapshot
+
+    def publish(self) -> Snapshot:
+        """Compact pending corrections (if any) and write the next epoch."""
+        if self.engine.dynamic.n_pending_columns:
+            self.engine.rebuild()
+        return self.store.publish(self.engine.dynamic)
+
+    def apply_and_publish(
+        self,
+        inserts: Iterable[tuple] = (),
+        deletes: Iterable[Tuple[int, int]] = (),
+    ) -> Tuple["object", Snapshot]:
+        """One update batch through the dynamic path, then one snapshot.
+
+        Returns ``(UpdateReport, Snapshot)``.  The report reflects the
+        engine's own policy decisions (a policy-triggered rebuild shows
+        up as ``rebuilt=True``); the snapshot always reflects every
+        applied update, because :meth:`publish` compacts first.
+        """
+        report = self.engine.apply_updates(inserts, deletes)
+        return report, self.publish()

@@ -1,0 +1,291 @@
+"""The replica pool: worker processes serving one snapshot each.
+
+One Python process can run exactly one pruned scan at a time — the
+kernel is a Python-level loop, so threads share the GIL and a single
+``QueryEngine`` caps out far below a multi-core box.  The pool fixes
+that the way the paper's deployment model invites: the index is
+**read-only at serving time**, so replication is free of coherence
+traffic.  Each worker process
+
+1. loads the published snapshot (the v2 archive restores the
+   ``PreparedIndex`` caches directly — no re-preparation),
+2. wraps it in its own static :class:`~repro.query.engine.QueryEngine`
+   (private LRU result cache, private workspace),
+3. serves micro-batches from its request queue until told to stop,
+4. hot-swaps to a newer snapshot epoch when the scheduler broadcasts
+   one — the swap lands *between* batches, so no in-flight query is
+   dropped and every query is answered by exactly the snapshot that was
+   current when it was scheduled.
+
+The pool is deliberately dumb about ordering: it moves messages.  All
+scheduling policy (micro-batch formation, routing, the swap barrier)
+lives in :class:`~repro.serving.scheduler.MicroBatchScheduler`.
+
+Wire protocol (tuples, first element is the kind):
+
+===========  =============================================  ===========
+direction    message                                        reply
+===========  =============================================  ===========
+to worker    ``("batch", batch_id, [(query, k), ...])``     ``("results", wid, batch_id, [TopKResult, ...])``
+to worker    ``("swap", epoch, path)``                      ``("swapped", wid, epoch)``
+to worker    ``("stats",)``                                 ``("stats", wid, stats_dict)``
+to worker    ``("stop",)``                                  ``("stopped", wid, stats_dict)``
+===========  =============================================  ===========
+
+A worker that hits an unexpected exception reports
+``("error", wid, message)`` and exits; the pool surfaces it as a
+:class:`~repro.exceptions.ServingError` on the next receive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.index_io import load_index
+from ..exceptions import InvalidParameterError, ServingError
+from ..query.engine import QueryEngine
+from .snapshot import Snapshot
+
+#: Default seconds the pool waits on worker replies before declaring
+#: the worker dead.  Generous: snapshot loads on large graphs are slow.
+DEFAULT_TIMEOUT = 120.0
+
+
+def _serve_batch(engine: QueryEngine, requests: Sequence[Tuple[int, int]]):
+    """Serve one micro-batch of ``(query, k)`` requests, input order kept.
+
+    Requests are grouped by ``k`` so each group runs through one
+    :meth:`~repro.query.engine.QueryEngine.top_k_many` call (shared
+    workspace + within-batch dedup); answers are identical to per-query
+    ``top_k`` calls, so grouping is purely an execution detail.
+    """
+    by_k: Dict[int, List[int]] = {}
+    for i, (_, k) in enumerate(requests):
+        by_k.setdefault(int(k), []).append(i)
+    results: List = [None] * len(requests)
+    for k, idxs in by_k.items():
+        answers = engine.top_k_many([requests[i][0] for i in idxs], k)
+        for i, answer in zip(idxs, answers):
+            results[i] = answer
+    return results
+
+
+def worker_main(
+    worker_id: int,
+    snapshot_path: str,
+    snapshot_epoch: int,
+    request_q,
+    result_q,
+    cache_size: int,
+) -> None:
+    """Entry point of one replica process (module-level for spawn support)."""
+    try:
+        engine = QueryEngine(load_index(snapshot_path), cache_size=cache_size)
+        engine.snapshot_epoch = int(snapshot_epoch)
+        engine.stats.snapshot_epoch = engine.snapshot_epoch
+        result_q.put(("ready", worker_id, int(snapshot_epoch)))
+        while True:
+            message = request_q.get()
+            kind = message[0]
+            if kind == "batch":
+                _, batch_id, requests = message
+                result_q.put(
+                    ("results", worker_id, batch_id, _serve_batch(engine, requests))
+                )
+            elif kind == "swap":
+                _, epoch, path = message
+                # Only move forward: a stale broadcast (scheduler retry,
+                # replayed queue) must not roll the replica back.
+                if engine.snapshot_epoch is None or epoch > engine.snapshot_epoch:
+                    engine.swap_index(load_index(path), source_epoch=epoch)
+                result_q.put(("swapped", worker_id, int(epoch)))
+            elif kind == "stats":
+                result_q.put(("stats", worker_id, engine.stats.as_dict()))
+            elif kind == "stop":
+                result_q.put(("stopped", worker_id, engine.stats.as_dict()))
+                break
+            else:
+                result_q.put(
+                    ("error", worker_id, f"unknown message kind {kind!r}")
+                )
+                break
+    except Exception as exc:  # surface crashes instead of hanging the pool
+        try:
+            result_q.put(("error", worker_id, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        # Flush the queue feeder thread before the process exits so the
+        # final message is never lost.
+        result_q.close()
+        result_q.join_thread()
+
+
+class ReplicaPool:
+    """N worker processes, each serving the same published snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        A :class:`~repro.serving.snapshot.Snapshot` (or a plain archive
+        path, treated as epoch 0) every worker loads at startup.
+    n_workers:
+        Number of replica processes.
+    cache_size:
+        Per-worker LRU result-cache capacity (each replica caches
+        independently — affinity routing is what makes those private
+        caches effective).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default;
+        ``"fork"`` on Linux makes startup near-free).
+    timeout:
+        Seconds to wait on any worker reply before raising
+        :class:`~repro.exceptions.ServingError`.
+
+    The pool is a context manager; exiting it stops the workers and
+    joins them.
+    """
+
+    def __init__(
+        self,
+        snapshot,
+        n_workers: int,
+        cache_size: int = 1024,
+        start_method: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if n_workers < 1:
+            raise InvalidParameterError(
+                f"n_workers must be positive, got {n_workers!r}"
+            )
+        if not isinstance(snapshot, Snapshot):
+            snapshot = Snapshot(epoch=0, path=str(snapshot))
+        self.snapshot = snapshot
+        self.timeout = float(timeout)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._result_q = self._ctx.Queue()
+        self._request_qs = [self._ctx.Queue() for _ in range(n_workers)]
+        self._workers = []
+        self._closed = False
+        for worker_id in range(n_workers):
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(
+                    worker_id,
+                    snapshot.path,
+                    snapshot.epoch,
+                    self._request_qs[worker_id],
+                    self._result_q,
+                    cache_size,
+                ),
+                name=f"kdash-replica-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(process)
+        ready = 0
+        while ready < n_workers:
+            message = self.recv()
+            if message[0] != "ready":
+                raise ServingError(
+                    f"worker startup protocol violation: expected 'ready', "
+                    f"got {message!r}"
+                )
+            ready += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def send(self, worker_id: int, message: tuple) -> None:
+        """Low-level: enqueue one protocol message to one worker."""
+        if self._closed:
+            raise ServingError("pool is closed")
+        self._request_qs[worker_id].put(message)
+
+    def submit(self, worker_id: int, batch_id: int, requests) -> None:
+        """Dispatch one micro-batch of ``(query, k)`` requests to a worker."""
+        self.send(worker_id, ("batch", batch_id, list(requests)))
+
+    def broadcast_swap(self, snapshot: Snapshot) -> None:
+        """Tell every worker to adopt ``snapshot`` (no barrier — the
+        scheduler drains outstanding batches first and awaits the acks)."""
+        for worker_id in range(self.n_workers):
+            self.send(worker_id, ("swap", snapshot.epoch, snapshot.path))
+        self.snapshot = snapshot
+
+    def recv(self, timeout: Optional[float] = None) -> tuple:
+        """Next worker reply; raises :class:`ServingError` on worker death,
+        protocol errors, or timeout."""
+        try:
+            message = self._result_q.get(timeout=timeout or self.timeout)
+        except queue_module.Empty:
+            dead = [p.name for p in self._workers if not p.is_alive()]
+            detail = f"; dead workers: {dead}" if dead else ""
+            raise ServingError(
+                f"no worker reply within {timeout or self.timeout:.0f}s{detail}"
+            ) from None
+        if message[0] == "error":
+            raise ServingError(f"worker {message[1]} failed: {message[2]}")
+        return message
+
+    def collect_stats(self) -> List[dict]:
+        """Per-worker ``EngineStats`` dicts (safe only with no batches
+        outstanding — the scheduler guarantees that by draining first)."""
+        for worker_id in range(self.n_workers):
+            self.send(worker_id, ("stats",))
+        stats: List[Optional[dict]] = [None] * self.n_workers
+        needed = self.n_workers
+        while needed:
+            message = self.recv()
+            if message[0] != "stats":
+                raise ServingError(
+                    f"unexpected reply while collecting stats: {message!r}"
+                )
+            stats[message[1]] = message[2]
+            needed -= 1
+        return stats  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def close(self) -> List[dict]:
+        """Stop and join every worker; returns their final stats dicts.
+
+        Idempotent: a second close returns an empty list.
+        """
+        if self._closed:
+            return []
+        self._closed = True
+        final: List[dict] = []
+        for request_q in self._request_qs:
+            request_q.put(("stop",))
+        # One "stopped" per worker; a worker that crashed earlier will
+        # never reply, so bail once nobody is alive or the deadline hits.
+        deadline = time.monotonic() + self.timeout
+        remaining = self.n_workers
+        while remaining and time.monotonic() < deadline:
+            try:
+                message = self._result_q.get(timeout=0.5)
+            except queue_module.Empty:
+                if not any(p.is_alive() for p in self._workers):
+                    break
+                continue
+            if message[0] == "stopped":
+                final.append(message[2])
+                remaining -= 1
+            # Late batch results / acks during shutdown are dropped.
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5.0)
+        return final
+
+    def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

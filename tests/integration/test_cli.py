@@ -175,6 +175,122 @@ class TestServeCommand:
         assert "does not exist" in out
 
 
+class TestServePoolCommand:
+    @pytest.fixture
+    def index_path(self, tmp_path, capsys):
+        path = str(tmp_path / "internet.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--output", path])
+        capsys.readouterr()
+        return path
+
+    def test_pool_stream_with_hot_swap(self, index_path, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text(
+            "query 3 4\n"
+            "add 0 7 2.0\n"
+            "add 1 9\n"
+            "query 3 4\n"
+            "batch 3,7,3,12 4\n"
+            "rebuild\n"
+            "query 3 4\n"
+        )
+        assert main([
+            "serve", "--index", index_path, "--ops", str(ops),
+            "--workers", "2", "--router", "hash", "--batch-size", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "published snapshot epoch 0" in out
+        assert "[epoch 1] published batch: +2/-0 edges, hot-swapped 2 workers" in out
+        assert "[epoch 2] forced rebuild published and hot-swapped" in out
+        assert "final pool stats:" in out
+        assert "final publisher stats:" in out
+        assert "snapshot_epoch: 2" in out
+
+    def test_pool_matches_in_process_answers(self, index_path, tmp_path, capsys):
+        """Same ops stream, pool vs in-process: identical ranked answers."""
+        ops = tmp_path / "ops.txt"
+        ops.write_text("query 3 6\nadd 0 7 2.0\nquery 3 6\nquery 12 6\n")
+        assert main(["serve", "--index", index_path, "--ops", str(ops)]) == 0
+        single = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("query")
+        ]
+        assert main([
+            "serve", "--index", index_path, "--ops", str(ops), "--workers", "2",
+        ]) == 0
+        pooled = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("query")
+        ]
+        # Same label + proximity per query line (trailing path/epoch tags differ).
+        def answers(lines):
+            return [tuple(line.split()[:4]) for line in lines]
+
+        assert answers(pooled) == answers(single)
+
+    def test_pool_bad_update_reported(self, index_path, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("remove 0 149\nquery 3\n")
+        assert main([
+            "serve", "--index", index_path, "--ops", str(ops), "--workers", "2",
+        ]) == 2
+        out = capsys.readouterr().out
+        assert "error: line 1" in out
+        assert "does not exist" in out
+
+    def test_snapshot_dir_persists_epochs(self, index_path, tmp_path, capsys):
+        snap_dir = tmp_path / "snaps"
+        ops = tmp_path / "ops.txt"
+        ops.write_text("add 0 7\nquery 3\n")
+        assert main([
+            "serve", "--index", index_path, "--ops", str(ops),
+            "--workers", "2", "--snapshot-dir", str(snap_dir),
+        ]) == 0
+        capsys.readouterr()
+        names = sorted(p.name for p in snap_dir.iterdir())
+        assert "CURRENT" in names
+        assert "snapshot-00000000.npz" in names
+        assert "snapshot-00000001.npz" in names
+
+
+class TestLoadgenCommand:
+    @pytest.fixture
+    def index_path(self, tmp_path, capsys):
+        path = str(tmp_path / "internet.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--output", path])
+        capsys.readouterr()
+        return path
+
+    def test_read_only_workload(self, index_path, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main([
+            "loadgen", "--index", index_path, "--workers", "2",
+            "--queries", "60", "--batch-size", "8", "--k", "4",
+            "--json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 60 queries" in out
+        assert "final pool stats:" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["n_queries"] == 60
+        assert payload["workers"] == 2
+        assert payload["pool_stats"]["queries_served"] == 60
+
+    def test_churn_workload_publishes_snapshots(self, index_path, capsys):
+        assert main([
+            "loadgen", "--index", index_path, "--workers", "2",
+            "--queries", "60", "--update-every", "25", "--batch-size", "8",
+            "--router", "hash",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "churn: 2 update batches" in out
+        assert "2 snapshots hot-swapped" in out
+
+
 class TestExperimentCommand:
     def test_fig5_small(self, capsys):
         assert main(["experiment", "--name", "fig5", "--scale", "0.08"]) == 0

@@ -1,11 +1,45 @@
-"""Unit tests for index persistence."""
+"""Unit tests for index persistence (snapshot format v2 + v1 compat)."""
 
 import numpy as np
 import pytest
 
-from repro.core import KDash, load_index, save_index
+from repro.core import DynamicKDash, KDash, load_index, save_index
 from repro.exceptions import IndexNotBuiltError, SerializationError
 from repro.graph import DiGraph
+
+
+def _save_v1(index: KDash, path: str) -> None:
+    """Write the PR-2-era v1 archive layout (no PreparedIndex caches).
+
+    A byte-faithful replica of the old ``save_index`` so the
+    backward-compat path is tested against a real v1 file, not a
+    monkeypatched v2 one.
+    """
+    graph = index.graph
+    edges = list(graph.edges())
+    np.savez_compressed(
+        path,
+        format_version=1,
+        n_nodes=graph.n_nodes,
+        c=index.c,
+        position=index._perm.position,
+        l_inv_indptr=index._l_inv.indptr,
+        l_inv_indices=index._l_inv.indices,
+        l_inv_data=index._l_inv.data,
+        u_inv_indptr=index._u_inv.indptr,
+        u_inv_indices=index._u_inv.indices,
+        u_inv_data=index._u_inv.data,
+        amax_col=index._amax_col,
+        amax=index._amax,
+        diag=index._diag,
+        edge_src=np.asarray([u for u, _, _ in edges], dtype=np.int64),
+        edge_dst=np.asarray([v for _, v, _ in edges], dtype=np.int64),
+        edge_weight=np.asarray([w for _, _, w in edges], dtype=np.float64),
+        labels=np.asarray(
+            graph.labels if graph.labels is not None else [], dtype=object
+        ),
+        allow_pickle=True,
+    )
 
 
 class TestSaveLoad:
@@ -60,3 +94,130 @@ class TestSaveLoad:
         path = str(tmp_path / "index.npz")
         save_index(index, path)
         assert load_index(path).build_report is None
+
+
+class TestFormatV2:
+    """The versioned snapshot format with persisted PreparedIndex caches."""
+
+    @pytest.fixture
+    def loaded(self, tmp_path, er_graph):
+        index = KDash(er_graph, c=0.9).build()
+        path = str(tmp_path / "v2.npz")
+        save_index(index, path)
+        return index, load_index(path)
+
+    def test_archive_tagged_v2(self, tmp_path, er_graph):
+        path = str(tmp_path / "v2.npz")
+        save_index(KDash(er_graph, c=0.9).build(), path)
+        archive = np.load(path, allow_pickle=True)
+        assert int(archive["format_version"]) == 2
+        assert "succ_indptr" in archive and "total_mass_perm" in archive
+
+    def test_all_four_query_modes_identical(self, loaded):
+        """save→load→query equivalence for every public query mode."""
+        index, restored = loaded
+        for q in (0, 7, 33):
+            assert index.top_k(q, 6).items == restored.top_k(q, 6).items
+            assert (
+                index.above_threshold(q, 1e-3).items
+                == restored.above_threshold(q, 1e-3).items
+            )
+            assert (
+                index.top_k(q, 6, root=(q + 3) % 60).items
+                == restored.top_k(q, 6, root=(q + 3) % 60).items
+            )
+        restart = {3: 0.5, 11: 0.25, 40: 0.25}
+        assert (
+            index.top_k_personalized(restart, 6).items
+            == restored.top_k_personalized(restart, 6).items
+        )
+
+    def test_prepared_caches_restored_verbatim(self, loaded):
+        """v2 loads adopt the persisted caches instead of re-deriving them."""
+        index, restored = loaded
+        assert restored._succ_lists == index._succ_lists
+        assert np.array_equal(restored._total_mass_perm, index._total_mass_perm)
+        assert restored._prepared.c_prime == index._prepared.c_prime
+        assert restored._prepared.position == index._prepared.position
+
+    def test_search_counters_identical(self, loaded):
+        """Identical scan order → identical pruning counters, not just items."""
+        index, restored = loaded
+        for q in (2, 19):
+            a, b = index.top_k(q, 5), restored.top_k(q, 5)
+            assert (a.n_visited, a.n_computed, a.n_pruned) == (
+                b.n_visited,
+                b.n_computed,
+                b.n_pruned,
+            )
+
+
+class TestV1BackwardCompat:
+    def test_v1_archive_loads_and_queries(self, tmp_path, er_graph):
+        index = KDash(er_graph, c=0.9).build()
+        path = str(tmp_path / "v1.npz")
+        _save_v1(index, path)
+        restored = load_index(path)
+        assert restored.is_built
+        for q in (0, 5, 21):
+            assert index.top_k(q, 5).items == restored.top_k(q, 5).items
+        assert np.allclose(
+            index.proximity_column(3), restored.proximity_column(3), atol=0
+        )
+
+    def test_v1_rebuilds_prepared_caches(self, tmp_path, er_graph):
+        index = KDash(er_graph, c=0.9).build()
+        path = str(tmp_path / "v1.npz")
+        _save_v1(index, path)
+        restored = load_index(path)
+        assert restored._succ_lists == index._succ_lists
+        assert np.allclose(
+            restored._total_mass_perm, index._total_mass_perm, atol=0
+        )
+
+    def test_unknown_future_version_rejected(self, tmp_path, er_graph):
+        index = KDash(er_graph, c=0.9).build()
+        path = str(tmp_path / "v9.npz")
+        save_index(index, path)
+        archive = dict(np.load(path, allow_pickle=True))
+        archive["format_version"] = 9
+        np.savez_compressed(path, **archive)
+        with pytest.raises(SerializationError, match="version 9"):
+            load_index(path)
+
+
+class TestDynamicIndexSave:
+    def test_pending_corrections_refused(self, tmp_path, er_graph):
+        dyn = DynamicKDash(er_graph, c=0.9, rebuild_threshold=None)
+        dyn.add_edge(0, 5, 2.0)
+        dyn.add_edge(3, 7)
+        with pytest.raises(SerializationError, match="pending corrected"):
+            save_index(dyn, str(tmp_path / "stale.npz"))
+        # The message tells the operator the way out.
+        with pytest.raises(SerializationError, match="rebuild"):
+            save_index(dyn, str(tmp_path / "stale.npz"))
+
+    def test_save_after_rebuild_roundtrips(self, tmp_path, er_graph):
+        dyn = DynamicKDash(er_graph, c=0.9, rebuild_threshold=None)
+        dyn.add_edge(0, 5, 2.0)
+        dyn.rebuild()
+        path = str(tmp_path / "compacted.npz")
+        save_index(dyn, path)
+        restored = load_index(path)
+        for q in (0, 5, 21):
+            assert dyn.top_k(q, 5).items == restored.top_k(q, 5).items
+
+    def test_clean_dynamic_saves_base(self, tmp_path, er_graph):
+        dyn = DynamicKDash(er_graph, c=0.9, rebuild_threshold=None)
+        path = str(tmp_path / "clean.npz")
+        save_index(dyn, path)
+        restored = load_index(path)
+        assert restored.top_k(4, 5).items == dyn.top_k(4, 5).items
+
+    def test_delete_then_reinsert_cancels_and_saves(self, tmp_path, er_graph):
+        """A batch whose deltas cancel leaves rank 0 — saving is legal."""
+        dyn = DynamicKDash(er_graph, c=0.9, rebuild_threshold=None)
+        edge = next(iter(er_graph.edges()))
+        dyn.apply_updates(deletes=[edge[:2]], inserts=[(edge[0], edge[1], edge[2])])
+        assert dyn.n_pending_columns == 0
+        save_index(dyn, str(tmp_path / "cancelled.npz"))

@@ -1,0 +1,235 @@
+"""The replica pool + scheduler against the single-process ground truth.
+
+The serving tier's contract is **bit-identical equivalence**: a query
+stream served by the pool — micro-batched, routed across worker
+processes, interleaved with published update batches and snapshot
+hot-swaps — returns exactly what one in-process
+:class:`~repro.query.engine.QueryEngine` returns for the same stream.
+The single-process reference mirrors the deployment semantics: it
+starts from the same epoch-0 archive and compacts (``rebuild()``) at
+every publication point, exactly as the publisher does.
+"""
+
+import pytest
+
+from repro.core import DynamicKDash, load_index
+from repro.exceptions import InvalidParameterError, ServingError
+from repro.query import QueryEngine
+from repro.serving import (
+    MicroBatchScheduler,
+    ReplicaPool,
+    SnapshotPublisher,
+    SnapshotStore,
+    make_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A module-wide store holding the epoch-0 snapshot of the test graph."""
+    from repro.graph import erdos_renyi_graph
+
+    directory = tmp_path_factory.mktemp("snapshots")
+    graph = erdos_renyi_graph(60, 0.08, seed=42)
+    store = SnapshotStore(str(directory))
+    dyn = DynamicKDash(graph, c=0.9, rebuild_threshold=None)
+    SnapshotPublisher(QueryEngine(dyn), store).publish()
+    return store
+
+
+@pytest.fixture
+def snapshot(store):
+    return store.list_snapshots()[0]
+
+
+def reference_engine(snapshot):
+    """A fresh single-process engine over the same epoch-0 archive."""
+    return QueryEngine(
+        DynamicKDash.from_index(load_index(snapshot.path), rebuild_threshold=None)
+    )
+
+
+def items(results):
+    return [r.items for r in results]
+
+
+class TestPoolEquivalence:
+    @pytest.mark.parametrize("router", ["rr", "hash"])
+    def test_static_stream_matches_single_process(self, snapshot, router):
+        queries = make_queries(60, 50, "zipf", seed=3)
+        reference = reference_engine(snapshot)
+        with ReplicaPool(snapshot, 2) as pool:
+            scheduler = MicroBatchScheduler(pool, router=router, batch_size=8)
+            got = scheduler.run(queries, k=5)
+        assert items(got) == items(reference.top_k_many(queries, 5))
+
+    def test_results_preserve_submission_order(self, snapshot):
+        queries = [7, 3, 7, 41, 0, 3, 59, 7]
+        with ReplicaPool(snapshot, 2) as pool:
+            scheduler = MicroBatchScheduler(pool, router="rr", batch_size=3)
+            got = scheduler.run(queries, k=4)
+        assert [r.query for r in got] == queries
+
+    def test_mixed_k_within_batches(self, snapshot):
+        reference = reference_engine(snapshot)
+        with ReplicaPool(snapshot, 2) as pool:
+            scheduler = MicroBatchScheduler(pool, router="rr", batch_size=4)
+            seqs = [
+                scheduler.submit(q, k)
+                for q, k in [(0, 3), (5, 7), (0, 5), (12, 3), (5, 7)]
+            ]
+            scheduler.drain()
+            got = scheduler.take_results(seqs)
+        want = [
+            reference.top_k(q, k)
+            for q, k in [(0, 3), (5, 7), (0, 5), (12, 3), (5, 7)]
+        ]
+        assert items(got) == items(want)
+
+    def test_hot_swap_stream_bit_identical(self, store, snapshot):
+        """The acceptance test: updates + swaps mid-stream, exact answers.
+
+        Three query chunks with two published update batches between
+        them; every chunk must be answered from exactly the epoch that
+        was current when it was scheduled.
+        """
+        publisher = SnapshotPublisher(reference_engine(snapshot), store)
+        reference = reference_engine(snapshot)
+        chunks = [make_queries(60, 25, "zipf", seed=10 + i) for i in range(3)]
+        batches = [
+            {"inserts": [(0, 5, 2.0), (3, 7)], "deletes": []},
+            {"inserts": [(1, 9)], "deletes": [(0, 5)]},
+        ]
+        got, want = [], []
+        with ReplicaPool(snapshot, 2) as pool:
+            scheduler = MicroBatchScheduler(pool, router="hash", batch_size=8)
+            for i, chunk in enumerate(chunks):
+                got.extend(scheduler.run(chunk, k=5))
+                if i < len(batches):
+                    _, snap = publisher.apply_and_publish(**batches[i])
+                    scheduler.publish(snap)
+            final_epoch = pool.snapshot.epoch
+        for i, chunk in enumerate(chunks):
+            want.extend(reference.top_k_many(chunk, 5))
+            if i < len(batches):
+                reference.apply_updates(**batches[i])
+                reference.rebuild()  # mirror the publisher's compaction
+        assert items(got) == items(want)
+        assert final_epoch == snapshot.epoch + len(batches)
+
+    def test_swap_observed_by_workers(self, store, snapshot):
+        publisher = SnapshotPublisher(reference_engine(snapshot), store)
+        with ReplicaPool(snapshot, 2) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=4)
+            scheduler.run(make_queries(60, 10, "uniform", seed=1), k=3)
+            _, snap = publisher.apply_and_publish(inserts=[(2, 11)])
+            scheduler.publish(snap)
+            stats = scheduler.collect_stats()
+        for worker in stats:
+            assert worker["snapshot_epoch"] == snap.epoch
+            assert worker["snapshot_swaps"] == 1
+            assert worker["invalidations"] == 1
+
+
+class TestSchedulerMechanics:
+    def test_take_before_drain_rejected(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=100)
+            seq = scheduler.submit(0, 5)
+            with pytest.raises(ServingError, match="drain"):
+                scheduler.take_results([seq])
+            scheduler.drain()
+            assert scheduler.take_results([seq])[0].query == 0
+
+    def test_stale_snapshot_publish_rejected(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool)
+            with pytest.raises(InvalidParameterError, match="advance"):
+                scheduler.publish(snapshot)
+
+    def test_routed_counts_cover_all_workers_rr(self, snapshot):
+        with ReplicaPool(snapshot, 2) as pool:
+            scheduler = MicroBatchScheduler(pool, router="rr", batch_size=4)
+            scheduler.run(list(range(20)), k=3)
+            assert scheduler.routed_counts == [10, 10]
+
+    def test_aggregate_stats_totals(self, snapshot):
+        queries = [1, 1, 1, 2, 2, 3]  # heavy repetition
+        with ReplicaPool(snapshot, 2) as pool:
+            scheduler = MicroBatchScheduler(pool, router="hash", batch_size=3)
+            scheduler.run(queries, k=5)
+            agg = scheduler.aggregate_stats(scheduler.collect_stats())
+        assert agg["workers"] == 2
+        assert agg["queries_served"] == len(queries)
+        hits = agg["cache_hits"] + agg["dedup_hits"]
+        assert hits == len(queries) - agg["scans_executed"]
+        assert agg["hit_rate"] == hits / len(queries)
+
+
+class TestUpdateBatchGeneration:
+    def test_batches_replay_cleanly_through_apply_updates(self):
+        """No pair may appear as both insert and delete in one batch:
+        apply_updates replays deletes first, so an insert-then-delete
+        draw would crash on a missing edge (regression)."""
+        import numpy as np
+
+        from repro.graph import scale_free_digraph
+        from repro.serving import make_update_batch
+
+        for seed in range(20):
+            graph = scale_free_digraph(10, 30, seed=3)
+            dyn = DynamicKDash(graph.copy(), c=0.9, rebuild_threshold=None)
+            rng = np.random.default_rng(seed)
+            scratch = graph.copy()
+            for _ in range(4):
+                inserts, deletes = make_update_batch(scratch, 8, rng)
+                dyn.apply_updates(inserts, deletes)  # must never raise
+
+    def test_tiny_graphs_terminate_or_reject(self):
+        import numpy as np
+
+        from repro.graph import DiGraph
+        from repro.serving import make_update_batch
+
+        with pytest.raises(InvalidParameterError, match="at least 2 nodes"):
+            make_update_batch(DiGraph(1), 4, np.random.default_rng(0))
+        # Pair space smaller than the batch: terminates with fewer ops.
+        inserts, deletes = make_update_batch(
+            DiGraph(2), 10, np.random.default_rng(0)
+        )
+        assert 0 < len(inserts) + len(deletes) <= 2
+
+
+class TestPoolLifecycle:
+    def test_close_returns_final_stats_and_is_idempotent(self, snapshot):
+        pool = ReplicaPool(snapshot, 2)
+        MicroBatchScheduler(pool, batch_size=2).run([0, 1, 2, 3], k=3)
+        final = pool.close()
+        assert len(final) == 2
+        assert sum(s["queries_served"] for s in final) == 4
+        assert pool.close() == []
+
+    def test_use_after_close_rejected(self, snapshot):
+        pool = ReplicaPool(snapshot, 1)
+        pool.close()
+        with pytest.raises(ServingError, match="closed"):
+            pool.submit(0, 0, [(0, 5)])
+
+    def test_bad_worker_count_rejected(self, snapshot):
+        with pytest.raises(InvalidParameterError):
+            ReplicaPool(snapshot, 0)
+
+    def test_plain_path_accepted_as_epoch_zero(self, snapshot):
+        with ReplicaPool(snapshot.path, 1) as pool:
+            assert pool.snapshot.epoch == 0
+            scheduler = MicroBatchScheduler(pool, batch_size=2)
+            assert scheduler.run([3, 3], k=4)[0].query == 3
+
+    def test_worker_error_surfaces(self, snapshot):
+        pool = ReplicaPool(snapshot, 1, timeout=20.0)
+        try:
+            pool.send(0, ("frobnicate",))
+            with pytest.raises(ServingError, match="unknown message kind"):
+                pool.recv()
+        finally:
+            pool.close()

@@ -1,0 +1,107 @@
+"""Unit tests for epoch-tagged snapshot publication."""
+
+import os
+
+import pytest
+
+from repro.core import DynamicKDash, KDash, load_index
+from repro.exceptions import SerializationError
+from repro.query import QueryEngine
+from repro.serving import SnapshotPublisher, SnapshotStore
+
+
+@pytest.fixture
+def built(er_graph):
+    return KDash(er_graph, c=0.9).build()
+
+
+class TestSnapshotStore:
+    def test_epochs_are_monotone(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        snaps = [store.publish(built) for _ in range(3)]
+        assert [s.epoch for s in snaps] == [0, 1, 2]
+        assert store.latest().epoch == 2
+
+    def test_filenames_carry_the_epoch(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        snap = store.publish(built, epoch=7)
+        assert snap.filename == "snapshot-00000007.npz"
+        assert os.path.exists(snap.path)
+
+    def test_explicit_epoch_must_advance(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        store.publish(built, epoch=5)
+        with pytest.raises(SerializationError, match="monotone"):
+            store.publish(built, epoch=5)
+
+    def test_current_pointer_tracks_latest(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        store.publish(built)
+        snap = store.publish(built)
+        current = (tmp_path / "CURRENT").read_text().split()
+        assert int(current[0]) == snap.epoch
+        assert current[1] == snap.filename
+
+    def test_latest_falls_back_to_scan_without_current(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        snap = store.publish(built)
+        os.remove(tmp_path / "CURRENT")
+        assert store.latest().epoch == snap.epoch
+
+    def test_empty_store_has_no_latest(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        assert store.latest() is None
+        with pytest.raises(SerializationError, match="no snapshots"):
+            store.load_latest()
+
+    def test_load_latest_is_query_ready(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        store.publish(built)
+        restored = store.load_latest()
+        assert restored.top_k(3, 5).items == built.top_k(3, 5).items
+
+    def test_prune_keeps_newest(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        for _ in range(4):
+            store.publish(built)
+        removed = store.prune(keep=2)
+        assert [s.epoch for s in removed] == [0, 1]
+        assert [s.epoch for s in store.list_snapshots()] == [2, 3]
+
+    def test_keep_policy_prunes_on_publish(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path), keep=1)
+        for _ in range(3):
+            store.publish(built)
+        assert [s.epoch for s in store.list_snapshots()] == [2]
+
+    def test_no_temp_droppings(self, tmp_path, built):
+        store = SnapshotStore(str(tmp_path))
+        store.publish(built)
+        leftovers = [n for n in os.listdir(tmp_path) if n.startswith(".tmp")]
+        assert leftovers == []
+
+
+class TestSnapshotPublisher:
+    def test_requires_dynamic_engine(self, tmp_path, built):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="DynamicKDash"):
+            SnapshotPublisher(QueryEngine(built), SnapshotStore(str(tmp_path)))
+
+    def test_publish_compacts_pending_updates(self, tmp_path, er_graph):
+        engine = QueryEngine(DynamicKDash(er_graph, c=0.9, rebuild_threshold=None))
+        publisher = SnapshotPublisher(engine, SnapshotStore(str(tmp_path)))
+        publisher.publish()
+        report, snap = publisher.apply_and_publish(inserts=[(0, 5, 2.0)])
+        assert snap.epoch == 1
+        assert engine.dynamic.n_pending_columns == 0
+        # The archive reflects the applied update.
+        restored = load_index(snap.path)
+        assert restored.graph.has_edge(0, 5)
+        assert restored.top_k(0, 5).items == engine.top_k(0, 5).items
+
+    def test_latest_bootstraps_epoch_zero(self, tmp_path, er_graph):
+        engine = QueryEngine(DynamicKDash(er_graph, c=0.9, rebuild_threshold=None))
+        publisher = SnapshotPublisher(engine, SnapshotStore(str(tmp_path)))
+        assert publisher.latest.epoch == 0
+        assert publisher.latest.epoch == 0  # idempotent once published
