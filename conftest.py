@@ -1,0 +1,17 @@
+"""Root pytest configuration: suite-wide command-line options.
+
+Lives at the repository root (not under ``tests/``) because pytest only
+honours ``pytest_addoption`` in *initial* conftests — the ones on the
+rootdir path of the invocation.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/fixtures/golden/*.json from the current "
+        "answers instead of asserting against them (use after an "
+        "*intentional* answer-affecting change, and review the diff)",
+    )

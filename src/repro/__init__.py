@@ -25,7 +25,17 @@ Package map (see DESIGN.md for the full inventory):
 """
 
 from .baselines import BasicPushAlgorithm, BLin, IterativeRWR, LocalRWR, NBLin
-from .core import DynamicKDash, KDash, TopKResult, UpdateReport, load_index, save_index
+from .core import (
+    DynamicKDash,
+    KDash,
+    ShardedIndex,
+    TopKResult,
+    UpdateReport,
+    load_index,
+    load_sharded_index,
+    save_index,
+    save_sharded_index,
+)
 from .exceptions import (
     ConvergenceError,
     DecompositionError,
@@ -38,7 +48,7 @@ from .exceptions import (
     SparseMatrixError,
 )
 from .graph import DiGraph
-from .query import QueryEngine, QueryStats, RebuildPolicy
+from .query import QueryEngine, QueryStats, RebuildPolicy, ScatterGatherPlanner
 from .rwr import direct_solve_rwr, power_iteration_rwr, top_k_from_vector
 
 __version__ = "1.0.0"
@@ -50,9 +60,13 @@ __all__ = [
     "QueryEngine",
     "QueryStats",
     "RebuildPolicy",
+    "ShardedIndex",
+    "ScatterGatherPlanner",
     "TopKResult",
     "save_index",
     "load_index",
+    "save_sharded_index",
+    "load_sharded_index",
     "DiGraph",
     "NBLin",
     "BLin",

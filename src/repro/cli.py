@@ -7,12 +7,17 @@ Commands
     Print the structural summary of a named synthetic dataset.
 ``build``
     Build a K-dash index for a dataset (or an edge-list file) and save
-    it to disk.
+    it to disk — as a single archive, or, with ``--shards N
+    --partitioner {louvain,range}``, as a format-v3 sharded manifest
+    plus one payload file per shard.
 ``query``
     Load a saved index and run a top-k query — one node (``--node``) or
     a batched request (``--batch 3,7,3,12``) served through the
     :class:`~repro.query.engine.QueryEngine` (deduplication, shared
-    workspace, result cache, throughput report).
+    workspace, result cache, throughput report).  A sharded manifest is
+    served through the
+    :class:`~repro.query.planner.ScatterGatherPlanner` instead,
+    reporting shard fan-out and skip rate.
 ``update``
     Apply a batch of edge insertions/deletions to a saved index via the
     exact Woodbury correction, optionally run a verification query, and
@@ -24,8 +29,11 @@ Commands
     through the multi-process replica pool: updates flow through the
     :class:`~repro.serving.publisher.SnapshotPublisher` and hot-swap
     epoch-tagged snapshots into the workers, queries are micro-batched
-    and routed (``--router rr|hash``).  Final engine stats are printed
-    on shutdown either way.
+    and routed (``--router rr|hash``).  With ``--sharded --shards N``
+    the workers own *shards* instead of full replicas: queries scatter
+    home-shard-first, gather in descending bound order, and skip
+    bounded-out shards.  Final engine stats are printed on shutdown
+    either way.
 ``loadgen``
     Synthesise a query workload (zipf or uniform, optionally interleaved
     with update/publish cycles) and drive it through the replica pool,
@@ -120,12 +128,70 @@ def _cmd_build(args) -> int:
         f"index: {index.index_nnz:,} nonzeros, "
         f"{report.fill_in.inverse_ratio:.1f}x the edge count"
     )
-    save_index(index, args.output)
-    print(f"saved to {args.output}")
+    if args.shards:
+        from .core import ShardedIndex, save_sharded_index
+
+        sharded = ShardedIndex.from_index(
+            index, args.shards, partitioner=args.partitioner
+        )
+        written = save_sharded_index(sharded, args.output)
+        sizes = [s.n_members for s in sharded.summaries]
+        boundary = [f"{s.boundary_frac:.2f}" for s in sharded.summaries]
+        print(
+            f"sharded into {sharded.n_shards} shards ({args.partitioner}): "
+            f"sizes {sizes}, boundary fractions {boundary}"
+        )
+        print(f"saved manifest + {len(written) - 1} shard files to {written[-1]}")
+    else:
+        save_index(index, args.output)
+        print(f"saved to {args.output}")
     return 0
 
 
+def _parse_batch(spec: str):
+    """Comma-separated node ids of ``--batch``; ``None`` on bad input."""
+    try:
+        queries = [int(tok) for tok in spec.split(",") if tok.strip() != ""]
+    except ValueError:
+        return None
+    return queries or None
+
+
+def _peek_version(path: str):
+    """``(format_version, None)`` or ``(None, error message)``."""
+    from .core import read_format_version
+    from .exceptions import SerializationError
+
+    try:
+        return read_format_version(path), None
+    except SerializationError as exc:
+        return None, str(exc)
+
+
+def _reject_sharded_index(path: str, command: str) -> Optional[int]:
+    """Exit-code 2 with a remedy when ``path`` is a v3 manifest (or
+    unreadable); ``None`` when the command can proceed on a v1/v2 archive."""
+    version, error = _peek_version(path)
+    if error is not None:
+        print(f"error: {error}")
+        return 2
+    if version == 3:
+        print(
+            f"error: {path} is a sharded (format-v3) manifest; '{command}' "
+            "needs a single-index archive — build one without --shards, "
+            "then re-shard at serve time with --sharded --shards N"
+        )
+        return 2
+    return None
+
+
 def _cmd_query(args) -> int:
+    version, error = _peek_version(args.index)
+    if error is not None:
+        print(f"error: {error}")
+        return 2
+    if version == 3:
+        return _run_sharded_query(args)
     index = load_index(args.index)
     if args.batch is not None:
         return _run_batch_query(index, args)
@@ -141,17 +207,56 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _run_sharded_query(args) -> int:
+    """``query`` against a format-v3 manifest: plan over the shards."""
+    from .core import load_sharded_index
+    from .query import ScatterGatherPlanner
+
+    sharded = load_sharded_index(args.index)
+    planner = ScatterGatherPlanner(sharded)
+
+    def label(node: int) -> str:
+        # Mirrors DiGraph.label_of's fallback for unlabelled graphs.
+        return sharded.labels[node] if sharded.labels else f"node-{node}"
+
+    queries = [args.node] if args.batch is None else _parse_batch(args.batch)
+    if queries is None:
+        print(f"error: --batch expects comma-separated node ids, got {args.batch!r}")
+        return 2
+    results = planner.top_k_many(queries, args.k)
+    stats = planner.stats
+    print(
+        f"sharded top-{args.k} over {sharded.n_shards} shards "
+        f"({sharded.partitioner}): {len(queries)} queries, "
+        f"mean fan-out {stats.mean_fan_out:.2f}, "
+        f"shard-skip rate {stats.skip_rate:.2f}"
+    )
+    if args.batch is None:
+        plan = planner.last_plan
+        result = results[0]
+        print(
+            f"  visited {plan.shards_visited} shard(s), skipped "
+            f"{plan.shards_skipped}, computed {plan.nodes_computed}/"
+            f"{sharded.n} proximities"
+        )
+        for rank, (node, proximity) in enumerate(result.items, start=1):
+            print(f"  {rank:3d}. {label(node):30s} {proximity:.8f}")
+    else:
+        for query, result in zip(queries, results):
+            top_node, top_p = result.items[0]
+            print(
+                f"  node {query:6d}: top {label(top_node):30s} {top_p:.8f}"
+            )
+    return 0
+
+
 def _run_batch_query(index, args) -> int:
     """The ``query --batch`` path: serve many queries via the engine."""
     from .query import QueryEngine
 
-    try:
-        queries = [int(tok) for tok in args.batch.split(",") if tok.strip() != ""]
-    except ValueError:
+    queries = _parse_batch(args.batch)
+    if queries is None:
         print(f"error: --batch expects comma-separated node ids, got {args.batch!r}")
-        return 2
-    if not queries:
-        print("error: --batch expects at least one node id")
         return 2
     engine = QueryEngine(index)
     results = engine.top_k_many(queries, args.k)
@@ -212,6 +317,9 @@ def _cmd_update(args) -> int:
     if not inserts and not deletes:
         print("error: update needs at least one --add or --remove edge")
         return 2
+    code = _reject_sharded_index(args.index, "update")
+    if code is not None:
+        return code
     index = load_index(args.index)
     engine = QueryEngine(DynamicKDash.from_index(index, rebuild_threshold=None))
     try:
@@ -358,6 +466,20 @@ def _cmd_serve(args) -> int:
     lines = _read_ops(args)
     if lines is None:
         return 2
+    code = _reject_sharded_index(args.index, "serve")
+    if code is not None:
+        return code
+    if args.sharded:
+        ignored = []
+        if args.workers:
+            ignored.append("--workers (the pool runs one worker per shard)")
+        if args.router != "rr":
+            ignored.append("--router (routing is by home shard)")
+        if args.cache_size != 1024:
+            ignored.append("--cache-size (shard workers merge partials, no result cache)")
+        if ignored:
+            print("note: --sharded ignores " + "; ".join(ignored))
+        return _serve_sharded(args, lines)
     if args.workers:
         return _serve_pool(args, lines)
 
@@ -534,6 +656,113 @@ def _serve_pool(args, lines: List[str]) -> int:
     return 0
 
 
+def _serve_sharded(args, lines: List[str]) -> int:
+    """``serve --sharded``: the stream through shard-owning workers.
+
+    The single-writer publisher re-shards the compacted index after
+    every flushed update batch and publishes a format-v3 manifest; the
+    :class:`~repro.serving.sharded.ShardedScheduler` routes queries to
+    their home shard, gathers remote candidates in descending bound
+    order, and skips bounded-out shards entirely — answers stay
+    bit-identical to single-process serving.
+    """
+    import tempfile
+    import time
+
+    from .core import DynamicKDash
+    from .exceptions import GraphError
+    from .query import QueryEngine
+    from .serving import (
+        ShardPool,
+        ShardedScheduler,
+        SnapshotPublisher,
+        SnapshotStore,
+    )
+
+    index = load_index(args.index)
+    graph_labels = index.graph
+    publisher_engine = QueryEngine(
+        DynamicKDash.from_index(index, rebuild_threshold=None)
+    )
+
+    with tempfile.TemporaryDirectory(prefix="kdash-snapshots-") as default_dir:
+        store = SnapshotStore(args.snapshot_dir or default_dir)
+        publisher = SnapshotPublisher(
+            publisher_engine, store, shard_spec=(args.shards, args.partitioner)
+        )
+        snapshot = publisher.publish()
+        print(
+            f"published sharded snapshot epoch {snapshot.epoch} "
+            f"({args.shards} shards, {args.partitioner}); starting one "
+            f"worker per shard (batch size {args.batch_size})"
+        )
+        pool = ShardPool(snapshot)
+        scheduler = ShardedScheduler(pool, batch_size=args.batch_size)
+
+        def flush(inserts, deletes, first_line) -> Optional[str]:
+            try:
+                report, snap = publisher.apply_and_publish(inserts, deletes)
+            except GraphError as exc:
+                return f"line {first_line}: {exc}"
+            scheduler.publish(snap)
+            print(
+                f"[epoch {snap.epoch}] published batch: "
+                f"+{report.n_inserted}/-{report.n_deleted} edges, "
+                f"re-sharded and hot-swapped {pool.n_workers} shard workers"
+            )
+            return None
+
+        def on_query(node: int, k: int) -> None:
+            result = scheduler.run([node], k)[0]
+            top_node, top_p = result.items[0]
+            print(
+                f"query {node:>6d} top-{k}: "
+                f"{graph_labels.label_of(top_node)} "
+                f"{top_p:.8f}  [epoch {pool.snapshot.epoch}, "
+                f"fan-out {scheduler.mean_fan_out:.2f}]"
+            )
+
+        def on_batch(queries: List[int], k: int) -> None:
+            t0 = time.perf_counter()
+            scheduler.run(queries, k)
+            seconds = time.perf_counter() - t0
+            print(
+                f"batch of {len(queries)} queries: "
+                f"{len(queries) / seconds:,.0f} q/s across "
+                f"{pool.n_workers} shards  [skip rate "
+                f"{scheduler.skip_rate:.2f}]"
+            )
+
+        def on_rebuild() -> None:
+            publisher.engine.rebuild()
+            snap = publisher.publish()
+            scheduler.publish(snap)
+            print(
+                f"[epoch {snap.epoch}] forced rebuild re-sharded and hot-swapped"
+            )
+
+        t_start = time.perf_counter()
+        try:
+            code = _run_ops_stream(
+                lines, args.k, flush, on_query, on_batch, on_rebuild
+            )
+            if code != 0:
+                return code
+            total = time.perf_counter() - t_start
+            agg = scheduler.aggregate_stats(scheduler.collect_stats())
+            print(
+                f"served {agg['queries_served']} queries in {total:.2f}s "
+                f"across {pool.n_workers} shard workers: "
+                f"skip rate {agg['skip_rate']:.2f}, "
+                f"mean fan-out {agg['mean_fan_out']:.2f}, "
+                f"routed {scheduler.routed_counts}"
+            )
+            _print_engine_stats(agg, header="final shard-pool stats:")
+        finally:
+            pool.close()
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     """The ``loadgen`` path: synthetic traffic through the replica pool."""
     import json
@@ -648,6 +877,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="hybrid",
         choices=("hybrid", "degree", "cluster", "random", "identity", "rcm"),
     )
+    p_build.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="split the built index into this many shards and save a "
+        "format-v3 manifest (0 = single v2 archive)",
+    )
+    p_build.add_argument(
+        "--partitioner",
+        default="louvain",
+        choices=("louvain", "range"),
+        help="node->shard assignment: Louvain communities or contiguous "
+        "id ranges",
+    )
     p_build.add_argument("--output", required=True)
     p_build.set_defaults(func=_cmd_build)
 
@@ -726,6 +969,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--snapshot-dir",
         help="directory for published snapshots (default: a temp dir)",
+    )
+    p_serve.add_argument(
+        "--sharded",
+        action="store_true",
+        help="serve through shard-owning workers (one process per shard) "
+        "with scatter-gather planning instead of full replicas",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for --sharded serving",
+    )
+    p_serve.add_argument(
+        "--partitioner",
+        default="louvain",
+        choices=("louvain", "range"),
+        help="node->shard assignment for --sharded serving",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -8,7 +8,11 @@
 - :class:`~repro.core.bfs_tree.BFSTree` — layered visit order;
 - :class:`~repro.core.topk.TopKResult` — query result with search
   statistics (visited / computed / pruned counts for Figures 7 and 9);
-- :mod:`repro.core.index_io` — index persistence.
+- :class:`~repro.core.sharded.ShardedIndex` — the index split into
+  bound-prunable shards (Louvain or range partitions) for the
+  scatter-gather tier;
+- :mod:`repro.core.index_io` — index persistence (v1/v2 single-index
+  archives, v3 sharded manifests).
 
 All query modes execute on the single
 :func:`~repro.query.kernel.pruned_scan` kernel in :mod:`repro.query`,
@@ -19,8 +23,21 @@ which also provides the batched serving layer
 from .bfs_tree import BFSTree
 from .dynamic import DynamicKDash, UpdateReport
 from .estimator import ProximityEstimator
-from .index_io import load_index, save_index
+from .index_io import (
+    load_index,
+    load_sharded_index,
+    read_format_version,
+    save_index,
+    save_sharded_index,
+)
 from .kdash import KDash
+from .sharded import (
+    SHARD_PARTITIONERS,
+    ShardIndex,
+    ShardSummary,
+    ShardedIndex,
+    shard_assignment,
+)
 from .topk import TopKResult
 
 __all__ = [
@@ -30,6 +47,14 @@ __all__ = [
     "ProximityEstimator",
     "BFSTree",
     "TopKResult",
+    "ShardedIndex",
+    "ShardIndex",
+    "ShardSummary",
+    "shard_assignment",
+    "SHARD_PARTITIONERS",
     "save_index",
     "load_index",
+    "save_sharded_index",
+    "load_sharded_index",
+    "read_format_version",
 ]

@@ -11,24 +11,45 @@ inverses (CSC/CSR triples), the estimator arrays, the restart
 probability, and the graph's weighted edge list (needed to rebuild the
 BFS schedule at query time).
 
-Two format versions exist:
+Three format versions exist:
 
 - **v1** stored only the factor state; loading re-derived every
   query-invariant cache (successor lists, per-query proximity mass, the
   :class:`~repro.query.prepared.PreparedIndex` mirrors).
-- **v2** (current) additionally persists the ``PreparedIndex``
-  query-invariant caches — the flattened successor lists and the exact
-  per-query proximity mass ``S(q)`` — so a loading process (e.g. a
-  replica-pool worker adopting a published snapshot) skips the
-  re-preparation work entirely.
+- **v2** (current single-index format) additionally persists the
+  ``PreparedIndex`` query-invariant caches — the flattened successor
+  lists and the exact per-query proximity mass ``S(q)`` — so a loading
+  process (e.g. a replica-pool worker adopting a published snapshot)
+  skips the re-preparation work entirely.
+- **v3** (sharded) is a **manifest plus one payload file per shard**,
+  written by :func:`save_sharded_index`.  The manifest
+  (``<stem>.npz``) holds the shard-invariant state every participant
+  needs — the seed-side ``L^-1`` triple, the permutation ``position``,
+  the exact proximity mass, the node→shard ``assignment``, the
+  partitioner spec, and the per-shard :class:`ShardSummary` arrays
+  (``colmax`` bound vectors, row-norm maxima, boundary fractions) —
+  plus the basenames of the shard files.  Each shard file
+  (``<stem>.shard<NNN>.npz``) holds only that shard's scan payload:
+  its members, their scan order/norms and their ``U^-1`` rows as a
+  concatenated CSR triple.  A gather node loads everything
+  (:func:`load_sharded_index`); a shard worker passes ``only={i}`` and
+  loads the manifest plus its own payload.  A manifest referencing a
+  shard file that is missing (or unreadable) raises a clear
+  :class:`~repro.exceptions.SerializationError` naming both files.
 
 v1 archives load transparently (their caches are rebuilt on load);
 archives from *future* versions are rejected with a clear
 :class:`~repro.exceptions.SerializationError` instead of a numpy
-``KeyError`` deep in the arrays.
+``KeyError`` deep in the arrays, and v3 manifests fed to
+:func:`load_index` (or v1/v2 archives fed to
+:func:`load_sharded_index`) are redirected with an explicit message
+rather than a shape error.
 """
 
 from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -37,11 +58,15 @@ from ..graph.digraph import DiGraph
 from ..ordering.permutation import Permutation
 from ..sparse import CSCMatrix, CSRMatrix
 from .kdash import KDash
+from .sharded import ShardIndex, ShardSummary, ShardedIndex
 
 _FORMAT_VERSION = 2
 
-#: Versions this module knows how to read.
+#: Single-index versions :func:`load_index` knows how to read.
 _READABLE_VERSIONS = (1, 2)
+
+#: The sharded manifest-plus-payloads format of :func:`save_sharded_index`.
+_SHARDED_FORMAT_VERSION = 3
 
 
 def save_index(index, path: str) -> None:
@@ -137,7 +162,18 @@ def load_index(path: str) -> KDash:
         archive = np.load(path, allow_pickle=True)
     except (OSError, ValueError, EOFError, pickle.UnpicklingError, zipfile.BadZipFile) as exc:
         raise SerializationError(f"cannot read index from {path!r}: {exc}") from exc
-    version = int(archive["format_version"])
+    try:
+        version = int(archive["format_version"])
+    except KeyError:
+        raise SerializationError(
+            f"index archive {path!r} carries no format_version: not an "
+            "archive written by save_index"
+        ) from None
+    if version == _SHARDED_FORMAT_VERSION:
+        raise SerializationError(
+            f"index archive {path!r} is a format-v3 sharded manifest; "
+            "load it with load_sharded_index()"
+        )
     if version not in _READABLE_VERSIONS:
         raise SerializationError(
             f"index archive {path!r} has format version {version}; this "
@@ -188,3 +224,265 @@ def load_index(path: str) -> KDash:
         # PreparedIndex) exactly as build() does.  Sets index._built.
         index._finalise_query_path()
     return index
+
+
+# ----------------------------------------------------------------------
+# Format v3: sharded manifest + per-shard payloads
+# ----------------------------------------------------------------------
+def read_format_version(path: str) -> int:
+    """The ``format_version`` of an archive, without loading its payload.
+
+    Lets callers (e.g. the CLI) dispatch between :func:`load_index`
+    (v1/v2) and :func:`load_sharded_index` (v3) on any saved artefact.
+    """
+    import pickle
+    import zipfile
+
+    try:
+        with np.load(path, allow_pickle=True) as archive:
+            return int(archive["format_version"])
+    except (OSError, ValueError, KeyError, EOFError, pickle.UnpicklingError, zipfile.BadZipFile) as exc:
+        raise SerializationError(
+            f"cannot read a format version from {path!r}: {exc}"
+        ) from exc
+
+
+def _shard_filename(manifest_path: str, shard_id: int) -> str:
+    """``foo.npz`` → ``foo.shard007.npz`` (next to the manifest)."""
+    stem = manifest_path[:-4] if manifest_path.endswith(".npz") else manifest_path
+    return f"{stem}.shard{shard_id:03d}.npz"
+
+
+def _atomic_savez(path: str, **arrays) -> None:
+    """Write an ``.npz`` via a same-directory temp name + rename."""
+    tmp = f"{path}.tmp-{os.getpid()}.npz"
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise SerializationError(f"cannot write {path!r}: {exc}") from exc
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def save_sharded_index(sharded: ShardedIndex, path: str) -> list:
+    """Serialise a :class:`~repro.core.sharded.ShardedIndex` (format v3).
+
+    Writes the shard payload files first and the manifest **last**, each
+    through an atomic same-directory rename: a reader that can open the
+    manifest is guaranteed to find every payload it references.  If the
+    manifest cannot be written (or any later payload fails), the
+    payloads already written under their final names are removed before
+    the error propagates, so a failed save leaves no orphans.  Every
+    shard payload must be loaded (a manifest-only / partial
+    ``ShardedIndex`` cannot be re-saved).
+
+    Returns the list of written paths, manifest last.
+    """
+    if path.endswith(".npz") and len(path) <= 4:
+        raise SerializationError(f"cannot derive shard filenames from {path!r}")
+    manifest_path = path if path.endswith(".npz") else f"{path}.npz"
+    for shard_id, payload in enumerate(sharded.shards):
+        if payload is None:
+            raise SerializationError(
+                f"cannot save a partially loaded ShardedIndex: shard "
+                f"{shard_id} has no payload in this process"
+            )
+    written = []
+    shard_files = []
+    try:
+        for shard_id in range(sharded.n_shards):
+            payload = sharded.shards[shard_id]
+            shard_path = _shard_filename(manifest_path, shard_id)
+            _atomic_savez(
+                shard_path,
+                format_version=_SHARDED_FORMAT_VERSION,
+                shard_id=shard_id,
+                members=payload.members,
+                scan_nodes=np.asarray(payload.scan_nodes, dtype=np.int64),
+                scan_norms=np.asarray(payload.scan_norms, dtype=np.float64),
+                row_indptr=np.asarray(payload.row_indptr, dtype=np.int64),
+                row_indices=payload.row_indices,
+                row_data=payload.row_data,
+            )
+            shard_files.append(os.path.basename(shard_path))
+            written.append(shard_path)
+        labels = np.asarray(
+            sharded.labels if sharded.labels is not None else [], dtype=object
+        )
+        _write_manifest(manifest_path, sharded, shard_files, labels)
+    except BaseException:
+        for partial in written:
+            try:
+                os.remove(partial)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        raise
+    written.append(manifest_path)
+    return written
+
+
+def _write_manifest(manifest_path, sharded, shard_files, labels) -> None:
+    _atomic_savez(
+        manifest_path,
+        format_version=_SHARDED_FORMAT_VERSION,
+        n_nodes=sharded.n,
+        c=sharded.c,
+        n_shards=sharded.n_shards,
+        partitioner=sharded.partitioner,
+        shard_seed=sharded.seed,
+        assignment=sharded.assignment,
+        position=np.asarray(sharded.position, dtype=np.int64),
+        l_inv_indptr=sharded.l_inv.indptr,
+        l_inv_indices=sharded.l_inv.indices,
+        l_inv_data=sharded.l_inv.data,
+        total_mass_perm=sharded.total_mass_perm,
+        shard_files=np.asarray(shard_files, dtype=object),
+        summary_n_members=np.asarray(
+            [s.n_members for s in sharded.summaries], dtype=np.int64
+        ),
+        summary_rownorm_max=np.asarray(
+            [s.rownorm_max for s in sharded.summaries], dtype=np.float64
+        ),
+        summary_boundary_frac=np.asarray(
+            [s.boundary_frac for s in sharded.summaries], dtype=np.float64
+        ),
+        summary_colmax=np.vstack(
+            [s.colmax for s in sharded.summaries]
+        )
+        if sharded.summaries
+        else np.zeros((0, sharded.n)),
+        labels=labels,
+        allow_pickle=True,
+    )
+
+
+def load_sharded_index(
+    path: str, only: Optional[Iterable[int]] = None
+) -> ShardedIndex:
+    """Load a format-v3 sharded manifest written by :func:`save_sharded_index`.
+
+    Parameters
+    ----------
+    path:
+        The manifest archive.
+    only:
+        Shard ids whose payload files to load; every other entry of
+        ``ShardedIndex.shards`` stays ``None`` (manifest-only).  A shard
+        worker passes its own id; the default loads everything, which is
+        what an in-process :class:`~repro.query.planner.ScatterGatherPlanner`
+        needs.
+
+    Raises
+    ------
+    SerializationError
+        On unreadable archives, wrong format versions, and — explicitly,
+        instead of a ``KeyError``/``FileNotFoundError`` from deep inside
+        numpy — when the manifest references a shard file that is
+        missing or unreadable.
+    """
+    import pickle
+    import zipfile
+
+    try:
+        manifest = np.load(path, allow_pickle=True)
+    except (OSError, ValueError, EOFError, pickle.UnpicklingError, zipfile.BadZipFile) as exc:
+        raise SerializationError(f"cannot read manifest from {path!r}: {exc}") from exc
+    try:
+        version = int(manifest["format_version"])
+    except KeyError:
+        raise SerializationError(
+            f"archive {path!r} carries no format_version: not a manifest "
+            "written by save_sharded_index"
+        ) from None
+    if version in _READABLE_VERSIONS:
+        raise SerializationError(
+            f"index archive {path!r} has single-index format version "
+            f"{version}; load it with load_index() (or re-save it with "
+            "save_sharded_index after sharding)"
+        )
+    if version != _SHARDED_FORMAT_VERSION:
+        raise SerializationError(
+            f"sharded manifest {path!r} has format version {version}; this "
+            f"build reads version {_SHARDED_FORMAT_VERSION} — the archive "
+            "was written by a newer release"
+        )
+    n = int(manifest["n_nodes"])
+    n_shards = int(manifest["n_shards"])
+    only_set = None if only is None else {int(s) for s in only}
+    if only_set is not None:
+        bad = [s for s in only_set if not (0 <= s < n_shards)]
+        if bad:
+            raise SerializationError(
+                f"manifest {path!r} has {n_shards} shards; requested "
+                f"shard ids {sorted(bad)} do not exist"
+            )
+    l_inv = CSCMatrix(
+        (n, n),
+        manifest["l_inv_indptr"],
+        manifest["l_inv_indices"],
+        manifest["l_inv_data"],
+    )
+    colmax = np.asarray(manifest["summary_colmax"], dtype=np.float64)
+    summaries = [
+        ShardSummary(
+            shard_id=shard_id,
+            n_members=int(manifest["summary_n_members"][shard_id]),
+            rownorm_max=float(manifest["summary_rownorm_max"][shard_id]),
+            boundary_frac=float(manifest["summary_boundary_frac"][shard_id]),
+            colmax=colmax[shard_id],
+        )
+        for shard_id in range(n_shards)
+    ]
+    directory = os.path.dirname(os.path.abspath(path))
+    shard_files = [str(name) for name in manifest["shard_files"]]
+    shards = []
+    for shard_id in range(n_shards):
+        if only_set is not None and shard_id not in only_set:
+            shards.append(None)
+            continue
+        shard_path = os.path.join(directory, shard_files[shard_id])
+        if not os.path.exists(shard_path):
+            raise SerializationError(
+                f"shard manifest {path!r} references missing shard file "
+                f"{shard_files[shard_id]!r} (expected at {shard_path!r})"
+            )
+        try:
+            payload = np.load(shard_path, allow_pickle=True)
+        except (OSError, ValueError, EOFError, pickle.UnpicklingError, zipfile.BadZipFile) as exc:
+            raise SerializationError(
+                f"shard manifest {path!r} references unreadable shard file "
+                f"{shard_path!r}: {exc}"
+            ) from exc
+        if int(payload["shard_id"]) != shard_id:
+            raise SerializationError(
+                f"shard file {shard_path!r} carries shard id "
+                f"{int(payload['shard_id'])}, expected {shard_id}"
+            )
+        shards.append(
+            ShardIndex(
+                shard_id,
+                payload["members"],
+                payload["scan_nodes"].tolist(),
+                payload["scan_norms"].tolist(),
+                payload["row_indptr"],
+                payload["row_indices"],
+                payload["row_data"],
+            )
+        )
+    labels_arr = manifest["labels"]
+    labels = [str(x) for x in labels_arr] if labels_arr.size else None
+    return ShardedIndex(
+        n=n,
+        c=float(manifest["c"]),
+        assignment=manifest["assignment"],
+        partitioner=str(manifest["partitioner"]),
+        seed=int(manifest["shard_seed"]),
+        position=np.asarray(manifest["position"], dtype=np.int64).tolist(),
+        l_inv=l_inv,
+        total_mass_perm=manifest["total_mass_perm"],
+        shards=shards,
+        summaries=summaries,
+        labels=labels,
+    )

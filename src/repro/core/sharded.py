@@ -1,0 +1,493 @@
+"""Partition-sharded K-dash: the index split into prunable shards.
+
+The paper's tree-estimation bounds (Section 4.3, Lemmas 1–2) certify
+that *unvisited nodes* cannot beat the running K-th proximity; the same
+certify-then-skip idea lifts from nodes to whole **shards**.  A
+:class:`ShardedIndex` partitions the node set (Louvain communities or
+contiguous ranges), gives each shard the ``U^-1`` rows of its members,
+and precomputes a compact :class:`ShardSummary` per shard whose
+query-time upper bound dominates every member's proximity:
+
+.. math::
+
+    p_u \\;=\\; c \\cdot U^{-1}[u,:] \\cdot y
+        \\;\\le\\; c \\sum_j \\max_{v \\in s} U^{-1}[v, j] \\; y_j
+
+(both factors are non-negative — ``W^{-1} = \\sum_i (1-c)^i A'^i`` makes
+the triangular inverses entrywise non-negative).  A scatter-gather plan
+(:class:`~repro.query.planner.ScatterGatherPlanner`) scans the query's
+home shard first, then visits remaining shards in descending bound
+order and **skips every shard whose bound falls below the running
+global K-th proximity** — the shard-level analogue of the Lemma 2
+cut-off, and like it a pure pruning rule: answers stay bit-identical to
+the single-index engine.
+
+Within a shard, members are scanned in descending order of their
+``U^-1`` row 1-norm; the per-node Hölder bound
+``p_u <= c · ||U^-1[u,:]||_1 · max(y)`` allows an early break once the
+sorted norms drop below the cut-off.  Exact proximities are computed as
+the *same* sparse-row dot over the *same* arrays as the unified kernel
+(:func:`~repro.query.kernel.pruned_scan`), so every reported float is
+bitwise equal to the single-index answer; the canonical ``(proximity,
+-node)`` heap discipline shared with the kernel makes tie resolution
+order-independent, which is what lets per-shard candidates merge into
+the exact same top-k set.
+
+The shard payloads are what the serving tier distributes: format-v3
+archives (:mod:`repro.core.index_io`) persist one manifest (shared
+state + summaries) plus one file per shard, and each
+:class:`~repro.serving.sharded.ShardPool` worker loads the manifest and
+only its own shard.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..community import louvain_communities
+from ..exceptions import InvalidParameterError
+from ..validation import check_choice, check_positive_int
+
+#: Partitioner names accepted by :func:`shard_assignment` (and the CLI).
+SHARD_PARTITIONERS = ("louvain", "range")
+
+#: Relative slack applied to every shard/node upper bound before it is
+#: compared against θ.  The bounds are mathematically ≥ the exact
+#: proximity, but both sides are float64 reductions; the slack absorbs
+#: the accumulated rounding (≲ n·ε relative) so a bound can never be
+#: rounded *below* a proximity it must dominate.
+BOUND_SLACK = 1.0 + 1e-9
+
+
+def shard_assignment(
+    graph, n_shards: int, partitioner: str = "louvain", seed: int = 0
+) -> np.ndarray:
+    """Assign every node to a shard in ``0..n_shards-1``.
+
+    ``louvain`` runs the Louvain method and folds its communities into
+    ``n_shards`` groups greedily (largest community first onto the
+    currently lightest shard) — communities stay whole, so the
+    cross-shard edge mass Louvain minimised stays minimised.  ``range``
+    cuts ``0..n-1`` into near-equal contiguous ranges — the degenerate
+    partitioner that needs no graph structure at all (and the natural
+    one after a cluster reordering, whose permuted ids are already
+    community-contiguous).  Shards may come out empty when the graph is
+    smaller than the shard count; every consumer handles that.
+
+    Examples
+    --------
+    >>> from repro.graph import star_graph
+    >>> shard_assignment(star_graph(3), 2, partitioner="range").tolist()
+    [0, 0, 1, 1]
+    """
+    n_shards = check_positive_int(n_shards, "n_shards")
+    partitioner = check_choice(partitioner, SHARD_PARTITIONERS, "partitioner")
+    n = graph.n_nodes
+    if partitioner == "range":
+        return (np.arange(n, dtype=np.int64) * n_shards) // max(n, 1)
+    partition = louvain_communities(graph, seed=seed)
+    sizes = partition.sizes()
+    shard_of_community = np.zeros(partition.n_communities, dtype=np.int64)
+    load = [0] * n_shards
+    # Stable largest-first onto the lightest shard: deterministic for a
+    # given partition, balanced to within one community size.
+    for community in np.argsort(-sizes, kind="stable"):
+        target = min(range(n_shards), key=lambda s: (load[s], s))
+        shard_of_community[community] = target
+        load[target] += int(sizes[community])
+    return shard_of_community[partition.assignment]
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """Compact per-shard state the gather side prunes with.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard this summarises.
+    n_members:
+        Member count (0 for an empty shard).
+    rownorm_max:
+        ``max_u ||U^-1[u,:]||_1`` over members — the scalar summary used
+        for reporting and as a last-resort bound.
+    boundary_frac:
+        Fraction of the members' out-edge weight that leaves the shard —
+        the partition-quality signal (Louvain drives it down; ``range``
+        on an unclustered graph does not).
+    colmax:
+        Length-``n`` columnwise maximum of the members' ``U^-1`` rows in
+        permuted coordinates; :meth:`bound` contracts it against the
+        query's scattered seed column.
+    """
+
+    shard_id: int
+    n_members: int
+    rownorm_max: float
+    boundary_frac: float
+    colmax: np.ndarray
+
+    def bound(self, c: float, rows: np.ndarray, vals: np.ndarray) -> float:
+        """Upper bound on any member's proximity for seed column ``vals``.
+
+        ``rows``/``vals`` are the support of the dense workspace ``y``
+        (the scatter of ``L^-1[:, position[q]]``), so the contraction
+        costs O(nnz of the column), independent of shard size.
+        """
+        if not self.n_members or not rows.size:
+            return 0.0
+        return c * float(self.colmax[rows] @ vals) * BOUND_SLACK
+
+
+class ShardIndex:
+    """One shard's scan payload: its members' ``U^-1`` rows, pre-ordered.
+
+    ``scan_nodes`` holds the member node ids sorted by descending
+    ``U^-1`` row 1-norm (ties by ascending id), ``row_indptr`` /
+    ``row_indices`` / ``row_data`` the members' rows concatenated in
+    that order — each row slice copied *verbatim* from the global
+    ``U^-1`` CSR so the per-node dot product reproduces the unified
+    kernel's float result bit-for-bit.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "members",
+        "scan_nodes",
+        "scan_norms",
+        "row_indptr",
+        "row_indices",
+        "row_data",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        members: np.ndarray,
+        scan_nodes: Sequence[int],
+        scan_norms: Sequence[float],
+        row_indptr: np.ndarray,
+        row_indices: np.ndarray,
+        row_data: np.ndarray,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.members = np.asarray(members, dtype=np.int64)
+        # Plain-Python mirrors for the scan loop, mirroring PreparedIndex.
+        self.scan_nodes = [int(u) for u in scan_nodes]
+        self.scan_norms = [float(b) for b in scan_norms]
+        self.row_indptr = np.asarray(row_indptr, dtype=np.int64).tolist()
+        self.row_indices = np.asarray(row_indices, dtype=np.int64)
+        self.row_data = np.asarray(row_data, dtype=np.float64)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.scan_nodes)
+
+
+def canonical_heap(n: int, k: int) -> List[Tuple[float, int, int]]:
+    """A K-slot candidate heap primed with dummies, kernel-compatible.
+
+    Entries are ``(proximity, -node, node)`` exactly as in
+    :func:`~repro.query.kernel.pruned_scan`, so the heap minimum is the
+    canonically worst retained answer and merging candidates from any
+    number of shard scans resolves ties identically to one global scan.
+    """
+    heap = [(0.0, -(n + j), -1) for j in range(k)]
+    heapq.heapify(heap)
+    return heap
+
+
+def heap_admit(
+    heap: List[Tuple[float, int, int]], node: int, proximity: float
+) -> None:
+    """Admit one candidate under the canonical ordering, in place.
+
+    This is THE tie-break contract: higher proximity wins, equal
+    proximity falls to the smaller node id.  The pruned-scan kernel
+    keeps a hand-inlined copy of the same two-clause test in its hot
+    loop (see :func:`repro.query.kernel.pruned_scan`); any drift
+    between the two breaks the sharded tier's bit-identical guarantee
+    and is caught immediately by the golden fixtures
+    (``tests/unit/test_golden.py``, which replays tie-heavy grids
+    through both paths) and ``tests/property/test_prop_sharded.py``.
+    """
+    worst = heap[0]
+    if proximity > worst[0] or (proximity == worst[0] and -node > worst[1]):
+        heapq.heapreplace(heap, (proximity, -node, node))
+
+
+def merge_candidates(
+    heap: List[Tuple[float, int, int]], items: Sequence[Tuple[int, float]]
+) -> float:
+    """Fold ``(node, proximity)`` candidates into the canonical heap.
+
+    Returns the new θ (the heap minimum's proximity).  Used by the
+    gather side of the distributed plan to absorb one shard's reply.
+    """
+    for node, proximity in items:
+        heap_admit(heap, node, proximity)
+    return heap[0][0]
+
+
+def heap_items(heap: List[Tuple[float, int, int]]) -> Tuple[Tuple[int, float], ...]:
+    """The real ``(node, proximity)`` entries of a canonical heap."""
+    return tuple((node, p) for p, _, node in heap if node >= 0)
+
+
+def scan_shard(
+    shard: ShardIndex,
+    c: float,
+    y: np.ndarray,
+    ymax: float,
+    heap: List[Tuple[float, int, int]],
+    floor: float = 0.0,
+) -> Tuple[int, int]:
+    """Scan one shard's members against the canonical heap, in place.
+
+    Members arrive in descending row-norm order, so the first member
+    whose Hölder bound ``c·||row||₁·max(y)`` drops below the cut-off
+    certifies every later member is out too (their bounds are no
+    larger) — the within-shard miniature of Lemma 2.  ``floor`` is an
+    externally known θ (the gather side's running K-th proximity); the
+    cut-off is ``max(floor, heap minimum)`` and only ever grows, so the
+    prune stays sound mid-scan.
+
+    Returns ``(n_checked, n_computed)``: members whose bound was
+    evaluated, and members whose exact proximity was computed.
+    """
+    nodes = shard.scan_nodes
+    norms = shard.scan_norms
+    indptr = shard.row_indptr
+    indices = shard.row_indices
+    data = shard.row_data
+    admit = heap_admit
+    cmax = c * ymax * BOUND_SLACK
+    checked = 0
+    computed = 0
+    for i, node in enumerate(nodes):
+        theta = heap[0][0]
+        if floor > theta:
+            theta = floor
+        checked += 1
+        if cmax * norms[i] < theta:
+            break
+        lo, hi = indptr[i], indptr[i + 1]
+        proximity = c * (data[lo:hi] @ y[indices[lo:hi]])
+        computed += 1
+        admit(heap, node, proximity)
+    return checked, computed
+
+
+class ShardedIndex:
+    """A built K-dash index split into bound-prunable shards.
+
+    Construction does **not** refactorise anything: the global
+    precomputation (reordering, LU, triangular inverses) happens once in
+    :meth:`KDash.build`, and :meth:`from_index` re-slices its ``U^-1``
+    rows by shard.  Shared, shard-invariant state — the seed-side
+    ``L^-1``, the permutation, the exact per-query proximity mass — is
+    held once (and persisted once, in the v3 manifest); each worker of a
+    distributed deployment additionally holds only its own shard's rows,
+    roughly ``1/n_shards`` of the answer-side index.
+
+    Parameters mirror the persisted layout; build through
+    :meth:`from_index` (or :func:`repro.core.index_io.load_sharded_index`).
+
+    Examples
+    --------
+    >>> from repro.core import KDash
+    >>> from repro.graph import star_graph
+    >>> sharded = ShardedIndex.from_index(
+    ...     KDash(star_graph(6), c=0.9).build(), 2, partitioner="range")
+    >>> (sharded.n_shards, sharded.home_shard(0), sharded.home_shard(6))
+    (2, 0, 1)
+    >>> sorted(len(s.members) for s in sharded.shards)
+    [3, 4]
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        c: float,
+        assignment: np.ndarray,
+        partitioner: str,
+        seed: int,
+        position: Sequence[int],
+        l_inv,
+        total_mass_perm: np.ndarray,
+        shards: List[Optional[ShardIndex]],
+        summaries: List[ShardSummary],
+        labels: Optional[List[str]] = None,
+    ) -> None:
+        self.n = int(n)
+        self.c = float(c)
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        self.partitioner = str(partitioner)
+        self.seed = int(seed)
+        self.position = list(position)
+        self.l_inv = l_inv
+        self.total_mass_perm = np.asarray(total_mass_perm, dtype=np.float64)
+        self.shards = shards
+        self.summaries = summaries
+        self.labels = labels
+        if len(shards) != len(summaries):
+            raise InvalidParameterError(
+                "shards and summaries must have equal length"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(
+        cls,
+        index,
+        n_shards: int,
+        partitioner: str = "louvain",
+        seed: int = 0,
+    ) -> "ShardedIndex":
+        """Slice a built :class:`~repro.core.kdash.KDash` into shards."""
+        if not index.is_built:
+            index.build()
+        prepared = index.prepared
+        graph = index.graph
+        n = prepared.n
+        assignment = shard_assignment(graph, n_shards, partitioner, seed)
+        position = prepared.position
+        indptr = prepared.uinv_indptr
+        indices = prepared.uinv_indices
+        data = prepared.uinv_data
+
+        shards: List[ShardIndex] = []
+        summaries: List[ShardSummary] = []
+        for shard_id in range(n_shards):
+            members = np.flatnonzero(assignment == shard_id)
+            norms = []
+            for u in members:
+                lo, hi = indptr[position[u]], indptr[position[u] + 1]
+                norms.append(float(data[lo:hi].sum()))
+            # Descending row norm, ascending id on ties: the scan order.
+            order = sorted(
+                range(len(members)), key=lambda i: (-norms[i], int(members[i]))
+            )
+            scan_nodes = [int(members[i]) for i in order]
+            scan_norms = [norms[i] for i in order]
+            row_indptr = np.zeros(len(members) + 1, dtype=np.int64)
+            slices = []
+            colmax = np.zeros(n, dtype=np.float64)
+            for out, u in enumerate(scan_nodes):
+                lo, hi = indptr[position[u]], indptr[position[u] + 1]
+                row_indptr[out + 1] = row_indptr[out] + (hi - lo)
+                slices.append((lo, hi))
+                np.maximum.at(colmax, indices[lo:hi], data[lo:hi])
+            row_indices = (
+                np.concatenate([indices[lo:hi] for lo, hi in slices])
+                if slices
+                else np.zeros(0, dtype=np.int64)
+            )
+            row_data = (
+                np.concatenate([data[lo:hi] for lo, hi in slices])
+                if slices
+                else np.zeros(0, dtype=np.float64)
+            )
+            boundary = 0.0
+            total = 0.0
+            member_set = set(int(u) for u in members)
+            for u in member_set:
+                for v in graph.successors(u):
+                    w = graph.edge_weight(u, v)
+                    total += w
+                    if v not in member_set:
+                        boundary += w
+            shards.append(
+                ShardIndex(
+                    shard_id,
+                    members,
+                    scan_nodes,
+                    scan_norms,
+                    row_indptr,
+                    row_indices,
+                    row_data,
+                )
+            )
+            summaries.append(
+                ShardSummary(
+                    shard_id=shard_id,
+                    n_members=len(scan_nodes),
+                    rownorm_max=max(scan_norms, default=0.0),
+                    boundary_frac=(boundary / total) if total else 0.0,
+                    colmax=colmax,
+                )
+            )
+        return cls(
+            n=n,
+            c=prepared.c,
+            assignment=assignment,
+            partitioner=partitioner,
+            seed=seed,
+            position=position,
+            l_inv=prepared.l_inv,
+            total_mass_perm=prepared.total_mass_perm,
+            shards=shards,
+            summaries=summaries,
+            labels=list(graph.labels) if graph.labels else None,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def spec(self) -> Tuple[int, str, int]:
+        """``(n_shards, partitioner, seed)`` — enough to re-derive."""
+        return (self.n_shards, self.partitioner, self.seed)
+
+    def home_shard(self, node: int) -> int:
+        """The shard owning ``node`` — where its scatter phase starts."""
+        return int(self.assignment[node])
+
+    def shard(self, shard_id: int) -> ShardIndex:
+        """The payload of ``shard_id``; raises if not loaded (manifest-only)."""
+        if not (0 <= shard_id < self.n_shards):
+            raise InvalidParameterError(
+                f"shard {shard_id} out of range (n_shards={self.n_shards})"
+            )
+        payload = self.shards[shard_id]
+        if payload is None:
+            raise InvalidParameterError(
+                f"shard {shard_id} was not loaded into this process "
+                "(manifest-only / partial load)"
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Workspace plumbing (mirrors PreparedIndex)
+    # ------------------------------------------------------------------
+    def workspace(self) -> np.ndarray:
+        """A fresh all-zero dense seed workspace."""
+        return np.zeros(self.n, dtype=np.float64)
+
+    def scatter_column(self, y: np.ndarray, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Scatter ``L^-1[:, position[node]]`` into ``y``.
+
+        Returns ``(rows, vals)`` — the column's support, which both
+        restores the workspace in O(nnz) and feeds the per-shard bound
+        contraction.
+        """
+        rows, vals = self.l_inv.column(self.position[node])
+        y[rows] = vals
+        return rows, vals
+
+    def clear_rows(self, y: np.ndarray, rows: np.ndarray) -> None:
+        """Zero the rows previously touched by :meth:`scatter_column`."""
+        y[rows] = 0.0
+
+    def shard_bounds(
+        self, rows: np.ndarray, vals: np.ndarray
+    ) -> List[float]:
+        """Per-shard proximity upper bounds for one scattered seed column."""
+        return [s.bound(self.c, rows, vals) for s in self.summaries]

@@ -13,6 +13,11 @@ Layering (bottom up):
   :class:`~repro.core.dynamic.DynamicKDash` graphs with per-update-batch
   epochs, atomic cache invalidation and a :class:`RebuildPolicy` that
   decides when to swap in a freshly built index;
+- :mod:`repro.query.planner` — :class:`ScatterGatherPlanner`, exact
+  top-k over a partition-:class:`~repro.core.sharded.ShardedIndex`:
+  home shard first, remaining shards in descending bound order, whole
+  shards skipped once their bound falls below the running K-th
+  proximity — bit-identical answers to the single-index engine;
 - :mod:`repro.query.stats` — :class:`QueryStats` (per call) and
   :class:`EngineStats` (lifetime aggregates), both epoch/staleness
   aware.
@@ -21,6 +26,7 @@ Layering (bottom up):
 from .kernel import ScanResult, pruned_scan, scan_to_topk
 from .prepared import PreparedIndex
 from .engine import QueryEngine, RebuildPolicy
+from .planner import PlanStats, PlannerStats, ScatterGatherPlanner
 from .stats import EngineStats, QueryStats
 
 __all__ = [
@@ -30,6 +36,9 @@ __all__ = [
     "ScanResult",
     "QueryEngine",
     "RebuildPolicy",
+    "ScatterGatherPlanner",
+    "PlanStats",
+    "PlannerStats",
     "QueryStats",
     "EngineStats",
 ]

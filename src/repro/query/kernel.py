@@ -136,9 +136,18 @@ def pruned_scan(
     use_heap = k is not None
     if use_heap:
         # Candidate heap primed with K dummies of proximity 0 (Algorithm 4
-        # line 4); ties broken by visit sequence, which only affects which
-        # equal-proximity node is evicted, never correctness.
-        heap: List[Tuple[float, int, int]] = [(0.0, -j, -1) for j in range(k)]
+        # line 4).  Entries are ``(proximity, -node, node)``, so the heap
+        # minimum is the *canonically worst* retained answer — lowest
+        # proximity first, then largest node id — and ties at the K-th
+        # value are resolved identically regardless of visit order.  The
+        # canonical tie-break is what lets a sharded scatter-gather plan
+        # (:mod:`repro.query.planner`) merge per-shard candidates into
+        # bit-identical answers, and what keeps the golden regression
+        # fixtures byte-stable across traversal-order refactors.  Dummy
+        # ids ``n + j`` sit below every real node at proximity 0.
+        heap: List[Tuple[float, int, int]] = [
+            (0.0, -(n + j), -1) for j in range(k)
+        ]
         heapq.heapify(heap)
         heapreplace = heapq.heapreplace
         theta = 0.0
@@ -161,7 +170,6 @@ def pruned_scan(
     n_computed = 0
     n_skipped = 0
     terminated_early = False
-    sequence = 0
     pending_seeds = len(unit_bound)
 
     lazy = schedule is None
@@ -225,9 +233,16 @@ def pruned_scan(
             t2 += proximity * amax_col[node]
             selected_mass += proximity
             if use_heap:
-                if proximity > theta:
-                    sequence += 1
-                    heapreplace(heap, (proximity, sequence, node))
+                # Hand-inlined copy of the canonical admission test
+                # (repro.core.sharded.heap_admit) — this loop is the
+                # hottest path in the library.  Keep the two in sync;
+                # the golden fixtures and the sharded property suite
+                # fail on any drift.
+                worst = heap[0]
+                if proximity > worst[0] or (
+                    proximity == worst[0] and -node > worst[1]
+                ):
+                    heapreplace(heap, (proximity, -node, node))
                     theta = heap[0][0]
             elif proximity >= theta:
                 answers.append((node, proximity))

@@ -21,6 +21,11 @@ between them:
 - :mod:`repro.serving.scheduler` — :class:`MicroBatchScheduler`,
   request routing + micro-batch formation + the barrier that makes a
   snapshot swap invisible to in-flight queries;
+- :mod:`repro.serving.sharded` — :class:`ShardPool` (one worker per
+  shard of a format-v3 manifest, each holding ``1/n_shards`` of the
+  answer-side index) and :class:`ShardedScheduler` (home-first
+  scatter-gather with cross-shard bound skipping; results bit-identical
+  to a single engine);
 - :mod:`repro.serving.loadgen` — seeded workload generation and the
   measured load driver behind ``cli loadgen`` and
   ``benchmarks/bench_serving_scaleout.py``.
@@ -36,12 +41,14 @@ from .publisher import SnapshotPublisher
 from .replica import ReplicaPool
 from .router import (
     ConsistentHashRouter,
+    HomeShardRouter,
     ROUTER_NAMES,
     RoundRobinRouter,
     Router,
     make_router,
 )
 from .scheduler import MicroBatchScheduler
+from .sharded import ShardPool, ShardedScheduler
 from .snapshot import Snapshot, SnapshotStore
 
 __all__ = [
@@ -50,9 +57,12 @@ __all__ = [
     "SnapshotPublisher",
     "ReplicaPool",
     "MicroBatchScheduler",
+    "ShardPool",
+    "ShardedScheduler",
     "Router",
     "RoundRobinRouter",
     "ConsistentHashRouter",
+    "HomeShardRouter",
     "make_router",
     "ROUTER_NAMES",
     "make_queries",

@@ -22,10 +22,12 @@ tests compare the pool against.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
+from ..core.sharded import SHARD_PARTITIONERS, ShardedIndex
 from ..exceptions import InvalidParameterError
 from ..query.engine import QueryEngine
+from ..validation import check_choice, check_positive_int
 from .snapshot import Snapshot, SnapshotStore
 
 
@@ -41,9 +43,22 @@ class SnapshotPublisher:
     store:
         The :class:`~repro.serving.snapshot.SnapshotStore` to publish
         into.
+    shard_spec:
+        ``None`` publishes v2 single-index archives (replica-pool
+        deployment).  A ``(n_shards, partitioner)`` or ``(n_shards,
+        partitioner, seed)`` tuple publishes format-v3 **sharded**
+        snapshots instead: after compaction the base index is re-sliced
+        with :meth:`~repro.core.sharded.ShardedIndex.from_index` and the
+        manifest-plus-payloads layout is written, ready for a
+        :class:`~repro.serving.sharded.ShardPool` to hot-swap.
     """
 
-    def __init__(self, engine: QueryEngine, store: SnapshotStore) -> None:
+    def __init__(
+        self,
+        engine: QueryEngine,
+        store: SnapshotStore,
+        shard_spec: Optional[Tuple] = None,
+    ) -> None:
         if engine.dynamic is None:
             raise InvalidParameterError(
                 "SnapshotPublisher requires a DynamicKDash-backed engine "
@@ -51,6 +66,19 @@ class SnapshotPublisher:
             )
         self.engine = engine
         self.store = store
+        if shard_spec is not None:
+            parts = tuple(shard_spec)
+            if len(parts) == 2:
+                parts = parts + (0,)
+            if len(parts) != 3:
+                raise InvalidParameterError(
+                    "shard_spec must be (n_shards, partitioner[, seed]), "
+                    f"got {shard_spec!r}"
+                )
+            check_positive_int(parts[0], "n_shards")
+            check_choice(parts[1], SHARD_PARTITIONERS, "partitioner")
+            shard_spec = (int(parts[0]), str(parts[1]), int(parts[2]))
+        self.shard_spec = shard_spec
 
     @property
     def latest(self) -> Snapshot:
@@ -62,9 +90,20 @@ class SnapshotPublisher:
         return snapshot
 
     def publish(self) -> Snapshot:
-        """Compact pending corrections (if any) and write the next epoch."""
+        """Compact pending corrections (if any) and write the next epoch.
+
+        With a :attr:`shard_spec` the published artefact is a sharded
+        manifest re-sliced from the compacted base index; otherwise the
+        plain v2 archive.
+        """
         if self.engine.dynamic.n_pending_columns:
             self.engine.rebuild()
+        if self.shard_spec is not None:
+            n_shards, partitioner, seed = self.shard_spec
+            sharded = ShardedIndex.from_index(
+                self.engine.index, n_shards, partitioner=partitioner, seed=seed
+            )
+            return self.store.publish(sharded)
         return self.store.publish(self.engine.dynamic)
 
     def apply_and_publish(

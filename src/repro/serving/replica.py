@@ -149,6 +149,12 @@ class ReplicaPool:
     joins them.
     """
 
+    #: Worker entry point and process-name stem; the sharded pool
+    #: (:class:`repro.serving.sharded.ShardPool`) overrides both and
+    #: inherits every queue/lifecycle mechanism below unchanged.
+    _WORKER_TARGET = staticmethod(worker_main)
+    _WORKER_NAME = "kdash-replica"
+
     def __init__(
         self,
         snapshot,
@@ -165,6 +171,7 @@ class ReplicaPool:
             snapshot = Snapshot(epoch=0, path=str(snapshot))
         self.snapshot = snapshot
         self.timeout = float(timeout)
+        self._cache_size = cache_size
         self._ctx = multiprocessing.get_context(start_method)
         self._result_q = self._ctx.Queue()
         self._request_qs = [self._ctx.Queue() for _ in range(n_workers)]
@@ -172,16 +179,9 @@ class ReplicaPool:
         self._closed = False
         for worker_id in range(n_workers):
             process = self._ctx.Process(
-                target=worker_main,
-                args=(
-                    worker_id,
-                    snapshot.path,
-                    snapshot.epoch,
-                    self._request_qs[worker_id],
-                    self._result_q,
-                    cache_size,
-                ),
-                name=f"kdash-replica-{worker_id}",
+                target=type(self)._WORKER_TARGET,
+                args=self._worker_args(worker_id),
+                name=f"{self._WORKER_NAME}-{worker_id}",
                 daemon=True,
             )
             process.start()
@@ -195,6 +195,17 @@ class ReplicaPool:
                     f"got {message!r}"
                 )
             ready += 1
+
+    def _worker_args(self, worker_id: int) -> tuple:
+        """The spawn arguments of one worker process (subclass hook)."""
+        return (
+            worker_id,
+            self.snapshot.path,
+            self.snapshot.epoch,
+            self._request_qs[worker_id],
+            self._result_q,
+            self._cache_size,
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,591 @@
+"""Distributed scatter-gather: shard-owning workers, a gathering scheduler.
+
+The replica pool (:mod:`repro.serving.replica`) scales *throughput* by
+replicating the whole index per worker; this module scales the **index
+itself**: each worker process owns one shard of a format-v3 archive —
+the manifest's shared seed-side state plus only its own ``U^-1`` row
+payload, roughly ``1/n_shards`` of the answer-side index — and queries
+run the same home-first / bound-ordered / skip-below-θ plan as the
+in-process :class:`~repro.query.planner.ScatterGatherPlanner`, spread
+over processes:
+
+1. the scheduler routes each query to its **home shard** worker, which
+   scans its members and also contracts every other shard's summary
+   bound against the scattered seed column (it holds the manifest, so
+   the bounds are one sparse dot each);
+2. the gather side sorts the surviving shards by descending bound and
+   visits them **one at a time**, micro-batched per worker, carrying
+   the running K-th proximity θ as the pruning floor;
+3. a shard whose bound falls below θ is **skipped** — and because
+   bounds are sorted and θ only grows, every shard after it is skipped
+   too.
+
+Exactness contract: per-shard scans compute the identical float dot
+products as the single-index kernel and candidates merge through the
+same canonical heap discipline, so a stream served by the shard pool is
+**bit-identical** to the same stream through one
+:class:`~repro.query.engine.QueryEngine` — including across sharded
+snapshot hot-swaps, which reuse the barrier semantics of
+:meth:`~repro.serving.scheduler.MicroBatchScheduler.publish`.
+
+Wire protocol (extends the replica-pool table):
+
+===========  ====================================================  ===========
+direction    message                                               reply
+===========  ====================================================  ===========
+to worker    ``("home", batch_id, [(query, k), ...])``             ``("partial", wid, batch_id, [(items, bounds, checked, computed), ...])``
+to worker    ``("remote", batch_id, [(query, k, floor), ...])``    ``("candidates", wid, batch_id, [(items, checked, computed), ...])``
+to worker    ``("swap", epoch, manifest_path)``                    ``("swapped", wid, epoch)``
+to worker    ``("stats",)``                                        ``("stats", wid, stats_dict)``
+to worker    ``("stop",)``                                         ``("stopped", wid, stats_dict)``
+===========  ====================================================  ===========
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.index_io import load_sharded_index
+from ..core.sharded import canonical_heap, heap_items, merge_candidates, scan_shard
+from ..core.topk import TopKResult
+from ..exceptions import InvalidParameterError, ServingError
+from ..query.kernel import ScanResult, scan_to_topk
+from ..validation import check_k, check_node_id, check_positive_int
+from .replica import ReplicaPool
+from .snapshot import Snapshot
+
+
+def _plan_home(sharded, worker_id: int, y, query: int, k: int):
+    """One home-phase evaluation inside a shard worker."""
+    rows, vals = sharded.scatter_column(y, query)
+    ymax = float(vals.max()) if vals.size else 0.0
+    heap = canonical_heap(sharded.n, k)
+    checked, computed = scan_shard(
+        sharded.shard(worker_id), sharded.c, y, ymax, heap
+    )
+    bounds = sharded.shard_bounds(rows, vals)
+    sharded.clear_rows(y, rows)
+    return heap_items(heap), bounds, checked, computed
+
+
+def _plan_remote(sharded, worker_id: int, y, query: int, k: int, floor: float):
+    """One remote-phase evaluation: scan own shard with the θ floor."""
+    rows, vals = sharded.scatter_column(y, query)
+    ymax = float(vals.max()) if vals.size else 0.0
+    heap = canonical_heap(sharded.n, k)
+    checked, computed = scan_shard(
+        sharded.shard(worker_id), sharded.c, y, ymax, heap, floor=floor
+    )
+    sharded.clear_rows(y, rows)
+    return heap_items(heap), checked, computed
+
+
+def shard_worker_main(
+    worker_id: int,
+    manifest_path: str,
+    snapshot_epoch: int,
+    request_q,
+    result_q,
+    cache_size: int,
+) -> None:
+    """Entry point of one shard-owning worker process.
+
+    Loads the manifest plus **only its own shard payload**; serves home
+    and remote phases until told to stop.  ``cache_size`` is accepted
+    for spawn-signature parity with the replica worker and unused —
+    partial results are merged at the gather side, so caching whole
+    answers belongs there, not here.
+    """
+    del cache_size  # see docstring
+    stats: Dict[str, object] = {
+        "worker_id": worker_id,
+        "shard_id": worker_id,
+        "home_queries": 0,
+        "remote_queries": 0,
+        "nodes_checked": 0,
+        "nodes_computed": 0,
+        "snapshot_epoch": int(snapshot_epoch),
+        "snapshot_swaps": 0,
+    }
+    try:
+        sharded = load_sharded_index(manifest_path, only=[worker_id])
+        y = sharded.workspace()
+        result_q.put(("ready", worker_id, int(snapshot_epoch)))
+        while True:
+            message = request_q.get()
+            kind = message[0]
+            if kind == "home":
+                _, batch_id, requests = message
+                replies = []
+                for query, k in requests:
+                    items, bounds, checked, computed = _plan_home(
+                        sharded, worker_id, y, int(query), int(k)
+                    )
+                    stats["home_queries"] += 1
+                    stats["nodes_checked"] += checked
+                    stats["nodes_computed"] += computed
+                    replies.append((items, bounds, checked, computed))
+                result_q.put(("partial", worker_id, batch_id, replies))
+            elif kind == "remote":
+                _, batch_id, requests = message
+                replies = []
+                for query, k, floor in requests:
+                    items, checked, computed = _plan_remote(
+                        sharded, worker_id, y, int(query), int(k), float(floor)
+                    )
+                    stats["remote_queries"] += 1
+                    stats["nodes_checked"] += checked
+                    stats["nodes_computed"] += computed
+                    replies.append((items, checked, computed))
+                result_q.put(("candidates", worker_id, batch_id, replies))
+            elif kind == "swap":
+                _, epoch, path = message
+                if epoch > stats["snapshot_epoch"]:
+                    sharded = load_sharded_index(path, only=[worker_id])
+                    y = sharded.workspace()
+                    stats["snapshot_epoch"] = int(epoch)
+                    stats["snapshot_swaps"] += 1
+                result_q.put(("swapped", worker_id, int(epoch)))
+            elif kind == "stats":
+                result_q.put(("stats", worker_id, dict(stats)))
+            elif kind == "stop":
+                result_q.put(("stopped", worker_id, dict(stats)))
+                break
+            else:
+                result_q.put(
+                    ("error", worker_id, f"unknown message kind {kind!r}")
+                )
+                break
+    except Exception as exc:  # surface crashes instead of hanging the pool
+        try:
+            result_q.put(("error", worker_id, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        result_q.close()
+        result_q.join_thread()
+
+
+class ShardPool(ReplicaPool):
+    """One worker process per shard of a format-v3 sharded snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        A :class:`~repro.serving.snapshot.Snapshot` whose path is a v3
+        manifest (or a plain manifest path, treated as epoch 0).  The
+        worker count **is** the manifest's shard count — worker ``i``
+        owns shard ``i``.
+    start_method / timeout:
+        As for :class:`~repro.serving.replica.ReplicaPool`.
+
+    The queue scaffolding, error surfacing, swap broadcast and shutdown
+    barrier are inherited unchanged; only the worker entry point and the
+    manifest-derived metadata differ.
+    """
+
+    _WORKER_TARGET = staticmethod(shard_worker_main)
+    _WORKER_NAME = "kdash-shard"
+
+    def __init__(
+        self,
+        snapshot,
+        start_method: Optional[str] = None,
+        timeout: float = 120.0,
+    ) -> None:
+        path = snapshot.path if isinstance(snapshot, Snapshot) else str(snapshot)
+        self._load_manifest_meta(path)
+        super().__init__(
+            snapshot,
+            n_workers=self.n_shards,
+            cache_size=0,
+            start_method=start_method,
+            timeout=timeout,
+        )
+
+    def _load_manifest_meta(self, path: str) -> None:
+        """Read the routing metadata every gather side needs."""
+        import pickle
+        import zipfile
+
+        try:
+            manifest = np.load(path, allow_pickle=True)
+            version = int(manifest["format_version"])
+            if version != 3:
+                raise ServingError(
+                    f"ShardPool needs a format-v3 sharded manifest; "
+                    f"{path!r} has format version {version} (serve v1/v2 "
+                    "archives through ReplicaPool, or shard them first)"
+                )
+            self.n_shards = int(manifest["n_shards"])
+            self.n_nodes = int(manifest["n_nodes"])
+            self.assignment = np.asarray(manifest["assignment"], dtype=np.int64)
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            EOFError,
+            pickle.UnpicklingError,
+            zipfile.BadZipFile,
+        ) as exc:
+            raise ServingError(
+                f"cannot read sharded manifest {path!r}: {exc}"
+            ) from exc
+
+    def home_worker(self, query: int) -> int:
+        """The worker owning ``query``'s home shard."""
+        return int(self.assignment[query])
+
+    def submit_home(self, worker_id: int, batch_id: int, requests) -> None:
+        """Dispatch one home-phase micro-batch of ``(query, k)`` pairs."""
+        self.send(worker_id, ("home", batch_id, list(requests)))
+
+    def submit_remote(self, worker_id: int, batch_id: int, requests) -> None:
+        """Dispatch one remote-phase micro-batch of ``(query, k, floor)``."""
+        self.send(worker_id, ("remote", batch_id, list(requests)))
+
+    def broadcast_swap(self, snapshot: Snapshot) -> None:
+        """Adopt a new sharded snapshot: workers reload their shard, the
+        gather side reloads the routing metadata (the partition may have
+        changed across a re-shard)."""
+        self._load_manifest_meta(snapshot.path)
+        if self.n_shards != self.n_workers:
+            raise ServingError(
+                f"snapshot {snapshot.path!r} has {self.n_shards} shards but "
+                f"the pool runs {self.n_workers} workers; re-sharding to a "
+                "different shard count needs a new pool"
+            )
+        super().broadcast_swap(snapshot)
+
+
+class _Gather:
+    """Per-query gather state: the canonical heap plus the visit plan."""
+
+    __slots__ = (
+        "query",
+        "k",
+        "heap",
+        "order",
+        "bounds",
+        "cursor",
+        "visited",
+        "skipped",
+        "checked",
+        "computed",
+    )
+
+    def __init__(self, query: int, k: int, home: int, reply, n: int) -> None:
+        items, bounds, checked, computed = reply
+        self.query = query
+        self.k = k
+        self.heap = canonical_heap(n, k)
+        merge_candidates(self.heap, items)
+        self.bounds = bounds
+        self.order = sorted(
+            (s for s in range(len(bounds)) if s != home),
+            key=lambda s: (-bounds[s], s),
+        )
+        self.cursor = 0
+        self.visited = 1
+        self.skipped = 0
+        self.checked = checked
+        self.computed = computed
+
+    def next_shard(self) -> Optional[int]:
+        """The next shard to visit, or ``None`` when the plan is done.
+
+        Skips (and counts) the whole sorted tail as soon as the next
+        bound falls below θ — the cross-shard Lemma 2 argument.
+        """
+        if self.cursor >= len(self.order):
+            return None
+        theta = self.heap[0][0]
+        if self.bounds[self.order[self.cursor]] < theta:
+            self.skipped += len(self.order) - self.cursor
+            self.cursor = len(self.order)
+            return None
+        shard = self.order[self.cursor]
+        self.cursor += 1
+        self.visited += 1
+        return shard
+
+
+class ShardedScheduler:
+    """Scatter-gather scheduling over a :class:`ShardPool`.
+
+    Mirrors the :class:`~repro.serving.scheduler.MicroBatchScheduler`
+    surface — ``submit`` / ``flush`` / ``drain`` / ``take_results`` /
+    ``run`` / ``publish`` / ``collect_stats`` — but requests route by
+    **home shard** (the partition is the router) and completing one
+    query may take several worker round-trips, each micro-batched per
+    worker.  Results come back in submission order, bit-identical to a
+    single-process engine serving the same stream.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`ShardPool` to drive.
+    batch_size:
+        Flush threshold of both the home-phase and remote-phase per-
+        worker buffers.
+    """
+
+    def __init__(self, pool: ShardPool, batch_size: int = 32) -> None:
+        self.pool = pool
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self._home_buffers: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(pool.n_workers)
+        ]
+        self._remote_buffers: List[List[Tuple[int, int, int, float]]] = [
+            [] for _ in range(pool.n_workers)
+        ]
+        # batch_id -> ("home" | "remote", [seq, ...])
+        self._pending: Dict[int, Tuple[str, List[int]]] = {}
+        # seq -> (query, k) until the home reply arrives.
+        self._inflight: Dict[int, Tuple[int, int]] = {}
+        self._gathers: Dict[int, _Gather] = {}
+        self._results: Dict[int, TopKResult] = {}
+        self._next_seq = 0
+        self._next_batch = 0
+        #: Queries routed to each home worker (observability).
+        self.routed_counts = [0] * pool.n_workers
+        #: Lifetime plan accounting (feeds ``skip_rate`` / ``fan_out``).
+        self.queries_done = 0
+        self.shards_visited = 0
+        self.shards_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, query: int, k: int = 5) -> int:
+        """Route one request to its home shard; returns its sequence number."""
+        query = check_node_id(int(query), self.pool.n_nodes, "query")
+        k = check_k(int(k))
+        seq = self._next_seq
+        self._next_seq += 1
+        worker_id = self.pool.home_worker(query)
+        self.routed_counts[worker_id] += 1
+        self._inflight[seq] = (query, k)
+        buffer = self._home_buffers[worker_id]
+        buffer.append((seq, query, k))
+        if len(buffer) >= self.batch_size:
+            self._dispatch_home(worker_id)
+        return seq
+
+    def _dispatch_home(self, worker_id: int) -> None:
+        buffer = self._home_buffers[worker_id]
+        if not buffer:
+            return
+        batch_id = self._next_batch
+        self._next_batch += 1
+        self._pending[batch_id] = ("home", [seq for seq, _, _ in buffer])
+        self.pool.submit_home(worker_id, batch_id, [(q, k) for _, q, k in buffer])
+        self._home_buffers[worker_id] = []
+
+    def _dispatch_remote(self, worker_id: int) -> None:
+        buffer = self._remote_buffers[worker_id]
+        if not buffer:
+            return
+        batch_id = self._next_batch
+        self._next_batch += 1
+        self._pending[batch_id] = ("remote", [seq for seq, _, _, _ in buffer])
+        self.pool.submit_remote(
+            worker_id, batch_id, [(q, k, f) for _, q, k, f in buffer]
+        )
+        self._remote_buffers[worker_id] = []
+
+    def flush(self) -> None:
+        """Dispatch every non-empty buffer, regardless of fill level."""
+        for worker_id in range(self.pool.n_workers):
+            self._dispatch_home(worker_id)
+            self._dispatch_remote(worker_id)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Dispatched batches whose replies have not arrived yet."""
+        return len(self._pending)
+
+    def _advance(self, seq: int) -> None:
+        """Move one query's plan forward: queue its next shard or finish."""
+        gather = self._gathers[seq]
+        shard = gather.next_shard()
+        if shard is None:
+            self._finalise(seq)
+            return
+        buffer = self._remote_buffers[shard]
+        buffer.append((seq, gather.query, gather.k, gather.heap[0][0]))
+        if len(buffer) >= self.batch_size:
+            self._dispatch_remote(shard)
+
+    def _finalise(self, seq: int) -> None:
+        gather = self._gathers.pop(seq)
+        n = self.pool.n_nodes
+        scan = ScanResult(
+            items=heap_items(gather.heap),
+            n_visited=gather.checked,
+            n_computed=gather.computed,
+            n_pruned=n - gather.computed,
+            terminated_early=gather.computed < n,
+        )
+        self._results[seq] = scan_to_topk(gather.query, gather.k, n, scan)
+        self.queries_done += 1
+        self.shards_visited += gather.visited
+        self.shards_skipped += gather.skipped
+
+    def _absorb(self, message: tuple) -> None:
+        kind = message[0]
+        if kind not in ("partial", "candidates"):
+            raise ServingError(
+                f"unexpected reply while awaiting plan phases: {message!r}"
+            )
+        _, _, batch_id, replies = message
+        phase, seqs = self._pending.pop(batch_id)
+        if len(seqs) != len(replies):
+            raise ServingError(
+                f"batch {batch_id}: {len(seqs)} requests but "
+                f"{len(replies)} replies"
+            )
+        if phase == "home":
+            if kind != "partial":
+                raise ServingError(
+                    f"home batch {batch_id} answered with {kind!r}"
+                )
+            for seq, reply in zip(seqs, replies):
+                self._gathers[seq] = _Gather(
+                    *self._request_of(seq, reply), n=self.pool.n_nodes
+                )
+                self._advance(seq)
+        else:
+            if kind != "candidates":
+                raise ServingError(
+                    f"remote batch {batch_id} answered with {kind!r}"
+                )
+            for seq, (items, checked, computed) in zip(seqs, replies):
+                gather = self._gathers[seq]
+                merge_candidates(gather.heap, items)
+                gather.checked += checked
+                gather.computed += computed
+                self._advance(seq)
+
+    def _request_of(self, seq: int, reply):
+        """Rebuild the (query, k, home, reply) tuple for a home reply."""
+        # The home buffers record (seq, query, k); by the time the reply
+        # arrives the buffer entry is gone, so the query/k travel in the
+        # pending map instead — reconstructed here from the seq ledger.
+        query, k = self._inflight.pop(seq)
+        home = self.pool.home_worker(query)
+        return query, k, home, reply
+
+    def drain(self) -> None:
+        """Flush, then block until every submitted query has finalised."""
+        self.flush()
+        while self._pending or self._gathers or any(
+            self._remote_buffers[w] for w in range(self.pool.n_workers)
+        ):
+            if not self._pending:
+                # Everything in flight is parked in remote buffers below
+                # the batch threshold; push it out.
+                for worker_id in range(self.pool.n_workers):
+                    self._dispatch_remote(worker_id)
+                continue
+            self._absorb(self.pool.recv())
+
+    def take_results(self, seqs: Sequence[int]) -> List[TopKResult]:
+        """Pop completed results for ``seqs`` (drain first)."""
+        missing = [s for s in seqs if s not in self._results]
+        if missing:
+            raise ServingError(
+                f"results not yet collected for sequence numbers {missing[:5]}"
+                f"{'…' if len(missing) > 5 else ''}; call drain() first"
+            )
+        return [self._results.pop(s) for s in seqs]
+
+    def run(self, queries: Sequence[int], k: int = 5) -> List[TopKResult]:
+        """Serve a query stream end-to-end; results in input order."""
+        seqs = [self.submit(q, k) for q in queries]
+        self.drain()
+        return self.take_results(seqs)
+
+    # ------------------------------------------------------------------
+    # Snapshot hot-swap
+    # ------------------------------------------------------------------
+    def publish(self, snapshot: Snapshot) -> None:
+        """Barrier-swap every shard worker to a new sharded snapshot.
+
+        Same semantics as the replica scheduler's publish: in-flight
+        plans complete on their scheduled epoch, then every worker acks
+        the new manifest before any later query is dispatched.
+        """
+        if snapshot.epoch <= self.pool.snapshot.epoch:
+            raise InvalidParameterError(
+                f"snapshot epochs must advance: have "
+                f"{self.pool.snapshot.epoch}, got {snapshot.epoch}"
+            )
+        self.drain()
+        self.pool.broadcast_swap(snapshot)
+        acks = 0
+        while acks < self.pool.n_workers:
+            message = self.pool.recv()
+            if message[0] != "swapped":
+                raise ServingError(
+                    f"unexpected reply while awaiting swap acks: {message!r}"
+                )
+            acks += 1
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def skip_rate(self) -> float:
+        """Skipped share of possible non-home shard visits so far."""
+        possible = self.queries_done * max(self.pool.n_workers - 1, 0)
+        return (self.shards_skipped / possible) if possible else 0.0
+
+    @property
+    def mean_fan_out(self) -> float:
+        """Average shards scanned per completed query."""
+        return (
+            (self.shards_visited / self.queries_done)
+            if self.queries_done
+            else 0.0
+        )
+
+    def collect_stats(self) -> List[dict]:
+        """Per-worker stats dicts (drains outstanding plans first)."""
+        self.drain()
+        return self.pool.collect_stats()
+
+    def aggregate_stats(self, per_worker: Sequence[dict]) -> dict:
+        """Fold per-worker dicts plus the gather-side plan accounting."""
+        total: Dict[str, object] = {
+            "workers": len(per_worker),
+            "home_queries": 0,
+            "remote_queries": 0,
+            "nodes_checked": 0,
+            "nodes_computed": 0,
+            "snapshot_swaps": 0,
+        }
+        for stats in per_worker:
+            for key in (
+                "home_queries",
+                "remote_queries",
+                "nodes_checked",
+                "nodes_computed",
+                "snapshot_swaps",
+            ):
+                total[key] += stats[key]
+        epochs = [s.get("snapshot_epoch") for s in per_worker]
+        total["snapshot_epoch"] = max(
+            (e for e in epochs if e is not None), default=None
+        )
+        total["queries_served"] = self.queries_done
+        total["shards_visited"] = self.shards_visited
+        total["shards_skipped"] = self.shards_skipped
+        total["skip_rate"] = self.skip_rate
+        total["mean_fan_out"] = self.mean_fan_out
+        return total

@@ -1,9 +1,12 @@
 """Epoch-tagged snapshot publication for the serving tier.
 
-A **snapshot** is one immutable, fully-compacted index archive (the v2
-``.npz`` of :mod:`repro.core.index_io`, which carries the
-``PreparedIndex`` caches so workers skip re-preparation on load).  A
-:class:`SnapshotStore` manages a directory of them:
+A **snapshot** is one immutable, fully-compacted index artefact: either
+a v2 single-index archive (which carries the ``PreparedIndex`` caches
+so workers skip re-preparation on load) or a v3 **sharded manifest**
+plus its per-shard payload files (see :mod:`repro.core.index_io`) —
+publishing a :class:`~repro.core.sharded.ShardedIndex` picks the
+sharded layout automatically, with the manifest as the atomic commit
+point.  A :class:`SnapshotStore` manages a directory of them:
 
 - publication is **atomic**: the archive is written to a temp name and
   ``os.replace``-d into place, then a one-line ``CURRENT`` pointer file
@@ -29,7 +32,7 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.index_io import load_index, save_index
+from ..core.index_io import load_index, save_index, save_sharded_index
 from ..exceptions import SerializationError
 
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.npz$")
@@ -94,18 +97,25 @@ class SnapshotStore:
                     f"current is {latest.epoch}"
                 )
         final_path = os.path.join(self.directory, f"snapshot-{epoch:08d}.npz")
-        # savez appends ".npz" when missing, so the temp name keeps the
-        # suffix and the swap is a same-directory rename (atomic on
-        # POSIX filesystems).
-        tmp_path = os.path.join(
-            self.directory, f".tmp-{epoch:08d}-{os.getpid()}.npz"
-        )
-        try:
-            save_index(index, tmp_path)
-            os.replace(tmp_path, final_path)
-        finally:
-            if os.path.exists(tmp_path):
-                os.remove(tmp_path)
+        if hasattr(index, "summaries"):
+            # A ShardedIndex: save_sharded_index writes the per-shard
+            # payload files first and the manifest last, each through an
+            # atomic rename — the manifest is the commit point, and the
+            # CURRENT pointer (below) only ever names complete manifests.
+            save_sharded_index(index, final_path)
+        else:
+            # savez appends ".npz" when missing, so the temp name keeps
+            # the suffix and the swap is a same-directory rename (atomic
+            # on POSIX filesystems).
+            tmp_path = os.path.join(
+                self.directory, f".tmp-{epoch:08d}-{os.getpid()}.npz"
+            )
+            try:
+                save_index(index, tmp_path)
+                os.replace(tmp_path, final_path)
+            finally:
+                if os.path.exists(tmp_path):
+                    os.remove(tmp_path)
         self._write_current(epoch, os.path.basename(final_path))
         if self.keep is not None:
             self.prune(self.keep)
@@ -182,5 +192,26 @@ class SnapshotStore:
             if current is not None and snapshot.epoch == current.epoch:
                 continue
             os.remove(snapshot.path)
+            # A sharded snapshot's per-shard payload files live next to
+            # the manifest under "<stem>.shardNNN.npz"; retire them with
+            # it so the store never accumulates orphaned payloads.
+            self._remove_payloads(os.path.basename(snapshot.path))
             removed.append(snapshot)
+        # Sweep payloads whose manifest never landed (a sharded publish
+        # killed between payload writes and the manifest rename).  Safe:
+        # the manifest is the commit point, so a payload without one is
+        # unreachable by any reader — and the single-writer discipline
+        # means no publication is mid-flight while its own publish()
+        # calls prune().
+        live = {os.path.basename(s.path)[:-4] for s in self.list_snapshots()}
+        for name in os.listdir(self.directory):
+            stem, _, suffix = name.rpartition(".shard")
+            if suffix and name.endswith(".npz") and stem and stem not in live:
+                os.remove(os.path.join(self.directory, name))
         return removed
+
+    def _remove_payloads(self, manifest_name: str) -> None:
+        stem = manifest_name[:-4]
+        for name in os.listdir(self.directory):
+            if name.startswith(f"{stem}.shard") and name.endswith(".npz"):
+                os.remove(os.path.join(self.directory, name))

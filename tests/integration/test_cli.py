@@ -254,6 +254,82 @@ class TestServePoolCommand:
         assert "snapshot-00000001.npz" in names
 
 
+class TestShardedCommands:
+    @pytest.fixture
+    def index_path(self, tmp_path, capsys):
+        path = str(tmp_path / "internet.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--output", path])
+        capsys.readouterr()
+        return path
+
+    @pytest.fixture
+    def manifest_path(self, tmp_path, capsys):
+        path = str(tmp_path / "sharded.npz")
+        assert main([
+            "build", "--dataset", "Internet", "--scale", "0.1",
+            "--shards", "3", "--partitioner", "louvain", "--output", path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded into 3 shards (louvain)" in out
+        assert "saved manifest + 3 shard files" in out
+        return path
+
+    def test_sharded_build_and_query(self, manifest_path, capsys):
+        assert main([
+            "query", "--index", manifest_path, "--node", "3", "--k", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded top-4 over 3 shards" in out
+        assert "visited" in out
+
+    def test_sharded_query_matches_single_index(
+        self, index_path, manifest_path, capsys
+    ):
+        """The CLI-visible acceptance: same ranked lines either way."""
+        assert main(["query", "--index", index_path, "--node", "5", "--k", "3"]) == 0
+        single = [
+            line.split()[-2:]
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip().startswith(("1.", "2.", "3."))
+        ]
+        assert main(["query", "--index", manifest_path, "--node", "5", "--k", "3"]) == 0
+        sharded = [
+            line.split()[-2:]
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip().startswith(("1.", "2.", "3."))
+        ]
+        assert single == sharded
+
+    def test_sharded_batch_query(self, manifest_path, capsys):
+        assert main([
+            "query", "--index", manifest_path, "--batch", "3,7,3", "--k", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries" in out
+        assert "shard-skip rate" in out
+
+    @pytest.mark.slow
+    def test_serve_sharded_stream(self, index_path, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text(
+            "query 5 4\n"
+            "add 0 5 2.0\n"
+            "query 5 4\n"
+            "batch 3,7,3,12 4\n"
+            "rebuild\n"
+            "query 5 4\n"
+        )
+        assert main([
+            "serve", "--index", index_path, "--ops", str(ops),
+            "--sharded", "--shards", "3", "--batch-size", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "published sharded snapshot epoch 0 (3 shards, louvain)" in out
+        assert "re-sharded and hot-swapped 3 shard workers" in out
+        assert "final shard-pool stats:" in out
+
+
 class TestLoadgenCommand:
     @pytest.fixture
     def index_path(self, tmp_path, capsys):
@@ -280,6 +356,7 @@ class TestLoadgenCommand:
         assert payload["workers"] == 2
         assert payload["pool_stats"]["queries_served"] == 60
 
+    @pytest.mark.slow
     def test_churn_workload_publishes_snapshots(self, index_path, capsys):
         assert main([
             "loadgen", "--index", index_path, "--workers", "2",
@@ -301,3 +378,54 @@ class TestExperimentCommand:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "--name", "fig42"])
+
+
+class TestShardedManifestRejection:
+    """serve/update need a single-index archive; a v3 manifest gets a
+    remedy message and exit code 2, never a traceback."""
+
+    @pytest.fixture
+    def manifest_path(self, tmp_path, capsys):
+        path = str(tmp_path / "sharded.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--shards", "2", "--output", path])
+        capsys.readouterr()
+        return path
+
+    def test_serve_rejects_manifest(self, manifest_path, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("query 1 3\n")
+        assert main([
+            "serve", "--index", manifest_path, "--ops", str(ops), "--sharded",
+        ]) == 2
+        out = capsys.readouterr().out
+        assert "format-v3" in out and "build one without --shards" in out
+
+    def test_update_rejects_manifest(self, manifest_path, capsys):
+        assert main([
+            "update", "--index", manifest_path, "--add", "0:1",
+        ]) == 2
+        assert "format-v3" in capsys.readouterr().out
+
+    def test_query_missing_index_is_a_message(self, tmp_path, capsys):
+        assert main([
+            "query", "--index", str(tmp_path / "nope.npz"), "--node", "0",
+        ]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_sharded_flag_notice_for_ignored_options(
+        self, tmp_path, capsys
+    ):
+        index_path = str(tmp_path / "plain.npz")
+        main(["build", "--dataset", "Internet", "--scale", "0.1",
+              "--output", index_path])
+        capsys.readouterr()
+        ops = tmp_path / "ops.txt"
+        ops.write_text("query 1 3\n")
+        assert main([
+            "serve", "--index", index_path, "--ops", str(ops),
+            "--sharded", "--shards", "2", "--workers", "8", "--router", "hash",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "note: --sharded ignores --workers" in out
+        assert "--router" in out

@@ -1,0 +1,114 @@
+"""Golden regression fixtures: byte-stable top-k answers.
+
+Small deterministic graphs with their expected top-k answers committed
+under ``tests/fixtures/golden/``.  Proximities are stored as
+``float.hex()`` strings, so the assertion is **bitwise**: a refactor of
+the kernel, the planner, or the serving path cannot silently change a
+single answer bit without failing here.  The canonical tie-break of the
+unified kernel (descending proximity, ascending node id) is part of the
+locked contract — the grid case has exact-float ties on purpose.
+
+To regenerate after an *intentional* answer-affecting change::
+
+    PYTHONPATH=src python -m pytest tests/unit/test_golden.py --regen-golden
+
+then review the fixture diff like any other code change.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import KDash, ShardedIndex
+from repro.graph import (
+    DiGraph,
+    erdos_renyi_graph,
+    grid_graph,
+    planted_partition_graph,
+)
+from repro.query import QueryEngine, ScatterGatherPlanner
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "fixtures" / "golden"
+
+
+def paper_tiny_graph() -> DiGraph:
+    """The 7-node example of the paper's Appendix A.2 (Figure 8)."""
+    g = DiGraph(7)
+    g.add_edges(
+        [(0, 1), (0, 2), (1, 3), (1, 4), (2, 3), (3, 5), (4, 5), (4, 6), (3, 4), (5, 0)]
+    )
+    return g
+
+
+#: name -> (graph factory, c, queries, k).  Every case is fully seeded.
+CASES = {
+    "paper_tiny": (paper_tiny_graph, 0.9, [0, 3], 3),
+    "grid_4x5": (lambda: grid_graph(4, 5), 0.9, [0, 9], 5),
+    "er_n40": (lambda: erdos_renyi_graph(40, 0.1, seed=42), 0.95, [1, 13], 5),
+    "planted_3x12": (
+        lambda: planted_partition_graph(
+            [12] * 3, 0.4, 0.02, directed=True, seed=3
+        ),
+        0.95,
+        [0, 20],
+        5,
+    ),
+}
+
+
+def compute_answers(name: str) -> dict:
+    """The current answers of one case, in the serialised golden shape."""
+    factory, c, queries, k = CASES[name]
+    index = KDash(factory(), c=c).build()
+    engine = QueryEngine(index, cache_size=0)
+    return {
+        "case": name,
+        "c": c,
+        "k": k,
+        "answers": {
+            str(q): [
+                [node, proximity.hex()]
+                for node, proximity in engine.top_k(q, k).items
+            ]
+            for q in queries
+        },
+    }
+
+
+def golden_path(name: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.fixture
+def regen(request) -> bool:
+    return request.config.getoption("--regen-golden")
+
+
+class TestGoldenAnswers:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_engine_answers_are_byte_stable(self, name, regen):
+        current = compute_answers(name)
+        path = golden_path(name)
+        if regen:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
+        expected = json.loads(path.read_text(encoding="utf-8"))
+        assert current == expected, (
+            f"golden case {name!r} drifted; if the change is intentional, "
+            "regenerate with --regen-golden and review the fixture diff"
+        )
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    @pytest.mark.parametrize("n_shards,partitioner", [(2, "range"), (3, "louvain")])
+    def test_sharded_planner_matches_golden(self, name, n_shards, partitioner):
+        """The scatter-gather plan reproduces the committed bytes too."""
+        factory, c, queries, k = CASES[name]
+        index = KDash(factory(), c=c).build()
+        planner = ScatterGatherPlanner(
+            ShardedIndex.from_index(index, n_shards, partitioner=partitioner)
+        )
+        expected = json.loads(golden_path(name).read_text(encoding="utf-8"))
+        for q_str, items in expected["answers"].items():
+            got = planner.top_k(int(q_str), k).items
+            assert [[node, p.hex()] for node, p in got] == items

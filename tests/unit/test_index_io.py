@@ -221,3 +221,144 @@ class TestDynamicIndexSave:
         dyn.apply_updates(deletes=[edge[:2]], inserts=[(edge[0], edge[1], edge[2])])
         assert dyn.n_pending_columns == 0
         save_index(dyn, str(tmp_path / "cancelled.npz"))
+
+
+class TestShardedFormatV3:
+    """The sharded manifest-plus-payloads layout of format v3."""
+
+    @pytest.fixture(scope="class")
+    def built(self, request):
+        from repro.graph import erdos_renyi_graph
+
+        return KDash(erdos_renyi_graph(50, 0.1, seed=13), c=0.9).build()
+
+    @pytest.fixture
+    def saved(self, built, tmp_path):
+        from repro.core import ShardedIndex, save_sharded_index
+
+        sharded = ShardedIndex.from_index(built, 3, partitioner="louvain")
+        path = str(tmp_path / "sharded.npz")
+        written = save_sharded_index(sharded, path)
+        return sharded, path, written
+
+    def test_roundtrip_answers_bitwise(self, built, saved):
+        from repro.core import load_sharded_index
+        from repro.query import ScatterGatherPlanner
+
+        _, path, _ = saved
+        planner = ScatterGatherPlanner(load_sharded_index(path))
+        for q in range(0, 50, 7):
+            assert planner.top_k(q, 5).items == built.top_k(q, 5).items
+
+    def test_manifest_written_last(self, saved):
+        _, path, written = saved
+        assert written[-1] == path
+        assert len(written) == 4  # 3 shard payloads + manifest
+
+    def test_partial_load_keeps_summaries(self, saved):
+        from repro.core import load_sharded_index
+
+        _, path, _ = saved
+        partial = load_sharded_index(path, only=[2])
+        assert partial.shards[0] is None and partial.shards[1] is None
+        assert partial.shards[2] is not None
+        assert len(partial.summaries) == 3
+        assert partial.summaries[0].colmax.size == partial.n
+
+    def test_partial_load_rejects_unknown_shard(self, saved):
+        from repro.core import load_sharded_index
+
+        _, path, _ = saved
+        with pytest.raises(SerializationError, match="do not exist"):
+            load_sharded_index(path, only=[7])
+
+    def test_missing_shard_file_is_a_clear_error(self, saved, tmp_path):
+        """The satellite fix: a SerializationError naming both files,
+        never a KeyError/FileNotFoundError from inside numpy."""
+        import os
+
+        from repro.core import load_sharded_index
+
+        _, path, written = saved
+        os.remove(written[1])  # shard 1's payload
+        with pytest.raises(SerializationError, match="missing shard file"):
+            load_sharded_index(path)
+        # Loading only the surviving shards still works.
+        partial = load_sharded_index(path, only=[0])
+        assert partial.shards[0] is not None
+
+    def test_unreadable_shard_file_is_a_clear_error(self, saved):
+        from repro.core import load_sharded_index
+
+        _, path, written = saved
+        with open(written[0], "wb") as handle:
+            handle.write(b"not an npz archive")
+        with pytest.raises(SerializationError, match="unreadable shard file"):
+            load_sharded_index(path)
+
+    def test_load_index_redirects_v3(self, saved):
+        _, path, _ = saved
+        with pytest.raises(SerializationError, match="load_sharded_index"):
+            load_index(path)
+
+    def test_load_sharded_redirects_v2(self, built, tmp_path):
+        from repro.core import load_sharded_index
+
+        path = str(tmp_path / "plain.npz")
+        save_index(built, path)
+        with pytest.raises(SerializationError, match="load_index"):
+            load_sharded_index(path)
+
+    def test_read_format_version(self, built, saved, tmp_path):
+        from repro.core import read_format_version
+
+        _, manifest_path, _ = saved
+        assert read_format_version(manifest_path) == 3
+        plain = str(tmp_path / "plain.npz")
+        save_index(built, plain)
+        assert read_format_version(plain) == 2
+        with pytest.raises(SerializationError):
+            read_format_version(str(tmp_path / "nope.npz"))
+
+    def test_saving_partial_sharded_index_rejected(self, saved, tmp_path):
+        from repro.core import load_sharded_index, save_sharded_index
+
+        _, path, _ = saved
+        partial = load_sharded_index(path, only=[0])
+        with pytest.raises(SerializationError, match="partially loaded"):
+            save_sharded_index(partial, str(tmp_path / "again.npz"))
+
+    def test_future_manifest_version_rejected(self, saved):
+        from repro.core import load_sharded_index
+
+        _, path, _ = saved
+        arrays = dict(np.load(path, allow_pickle=True))
+        arrays["format_version"] = np.int64(9)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(SerializationError, match="newer release"):
+            load_sharded_index(path)
+
+    def test_archive_without_format_version_is_a_clear_error(self, tmp_path):
+        from repro.core import load_sharded_index
+
+        stray = str(tmp_path / "stray.npz")
+        np.savez_compressed(stray, foo=np.arange(3))
+        with pytest.raises(SerializationError, match="format_version"):
+            load_sharded_index(stray)
+        with pytest.raises(SerializationError, match="format_version"):
+            load_index(stray)
+
+    def test_failed_save_leaves_no_orphan_payloads(self, built, tmp_path, monkeypatch):
+        """A save that dies at the manifest removes its payload files."""
+        import repro.core.index_io as index_io
+        from repro.core import ShardedIndex, save_sharded_index
+
+        sharded = ShardedIndex.from_index(built, 3, partitioner="range")
+
+        def boom(manifest_path, *args, **kwargs):
+            raise SerializationError("disk full")
+
+        monkeypatch.setattr(index_io, "_write_manifest", boom)
+        with pytest.raises(SerializationError, match="disk full"):
+            save_sharded_index(sharded, str(tmp_path / "doomed.npz"))
+        assert list(tmp_path.iterdir()) == []

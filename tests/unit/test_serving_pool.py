@@ -86,8 +86,9 @@ class TestPoolEquivalence:
         ]
         assert items(got) == items(want)
 
+    @pytest.mark.slow
     def test_hot_swap_stream_bit_identical(self, store, snapshot):
-        """The acceptance test: updates + swaps mid-stream, exact answers.
+        """The churn soak: updates + swaps mid-stream, exact answers.
 
         Three query chunks with two published update batches between
         them; every chunk must be answered from exactly the epoch that

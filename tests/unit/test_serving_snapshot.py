@@ -105,3 +105,68 @@ class TestSnapshotPublisher:
         publisher = SnapshotPublisher(engine, SnapshotStore(str(tmp_path)))
         assert publisher.latest.epoch == 0
         assert publisher.latest.epoch == 0  # idempotent once published
+
+
+class TestShardedSnapshots:
+    def _publisher(self, directory, shard_spec=(2, "range")):
+        from repro.core import DynamicKDash
+        from repro.graph import erdos_renyi_graph
+        from repro.query import QueryEngine
+        from repro.serving import SnapshotPublisher, SnapshotStore
+
+        store = SnapshotStore(directory)
+        dyn = DynamicKDash(
+            erdos_renyi_graph(30, 0.15, seed=3), c=0.9, rebuild_threshold=None
+        )
+        return store, SnapshotPublisher(
+            QueryEngine(dyn), store, shard_spec=shard_spec
+        )
+
+    def test_publish_writes_manifest_plus_payloads(self, tmp_path):
+        import os
+
+        store, publisher = self._publisher(str(tmp_path))
+        snapshot = publisher.publish()
+        names = sorted(os.listdir(str(tmp_path)))
+        assert os.path.basename(snapshot.path) in names
+        assert sum(1 for n in names if ".shard" in n) == 2
+        # The published manifest loads and serves.
+        from repro.core import load_sharded_index
+
+        assert load_sharded_index(snapshot.path).n_shards == 2
+
+    def test_prune_removes_payloads_with_their_manifest(self, tmp_path):
+        import os
+
+        store, publisher = self._publisher(str(tmp_path))
+        publisher.publish()
+        publisher.apply_and_publish(inserts=[(0, 7, 2.0)])
+        publisher.apply_and_publish(inserts=[(1, 9)])
+        store.prune(keep=1)
+        names = os.listdir(str(tmp_path))
+        manifests = [n for n in names if n.startswith("snapshot-") and ".shard" not in n]
+        payloads = [n for n in names if ".shard" in n]
+        assert len(manifests) == 1
+        assert len(payloads) == 2
+        assert all(p.startswith(manifests[0][:-4]) for p in payloads)
+
+    def test_prune_sweeps_orphan_payloads(self, tmp_path):
+        """Payloads whose manifest never landed (crashed publish) go."""
+        import os
+
+        store, publisher = self._publisher(str(tmp_path))
+        publisher.publish()
+        orphan = tmp_path / "snapshot-00000042.shard000.npz"
+        orphan.write_bytes(b"leftover")
+        store.prune(keep=5)
+        assert not orphan.exists()
+        # The live epoch's payloads survive.
+        assert sum(1 for n in os.listdir(str(tmp_path)) if ".shard" in n) == 2
+
+    def test_invalid_shard_spec_rejected(self, tmp_path):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="shard_spec"):
+            self._publisher(str(tmp_path), shard_spec=(2, "range", 0, 9))
+        with pytest.raises(InvalidParameterError, match="partitioner"):
+            self._publisher(str(tmp_path), shard_spec=(2, "metis"))

@@ -1,0 +1,200 @@
+"""Unit coverage for the sharded index and the scatter-gather planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import KDash, ShardedIndex, shard_assignment
+from repro.core.sharded import canonical_heap, heap_items, merge_candidates
+from repro.exceptions import InvalidParameterError
+from repro.graph import erdos_renyi_graph, planted_partition_graph, star_graph
+from repro.query import QueryEngine, ScatterGatherPlanner
+
+
+@pytest.fixture(scope="module")
+def clustered_graph():
+    return planted_partition_graph([15] * 4, 0.4, 0.01, directed=True, seed=9)
+
+
+@pytest.fixture(scope="module")
+def clustered_index(clustered_graph):
+    return KDash(clustered_graph, c=0.95).build()
+
+
+class TestShardAssignment:
+    def test_range_is_contiguous_and_balanced(self):
+        assignment = shard_assignment(star_graph(9), 5, partitioner="range")
+        assert list(assignment) == sorted(assignment)
+        sizes = np.bincount(assignment, minlength=5)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_louvain_keeps_communities_whole(self, clustered_graph):
+        from repro.community import louvain_communities
+
+        assignment = shard_assignment(clustered_graph, 2, partitioner="louvain")
+        communities = louvain_communities(clustered_graph, seed=0)
+        for members in communities.communities():
+            assert len({int(assignment[u]) for u in members}) == 1
+
+    def test_deterministic(self, clustered_graph):
+        a = shard_assignment(clustered_graph, 3, partitioner="louvain")
+        b = shard_assignment(clustered_graph, 3, partitioner="louvain")
+        assert np.array_equal(a, b)
+
+    def test_single_shard(self, clustered_graph):
+        assert set(shard_assignment(clustered_graph, 1, "range")) == {0}
+
+    def test_rejects_unknown_partitioner(self, clustered_graph):
+        with pytest.raises(InvalidParameterError, match="partitioner"):
+            shard_assignment(clustered_graph, 2, partitioner="metis")
+
+    def test_rejects_bad_shard_count(self, clustered_graph):
+        with pytest.raises(InvalidParameterError):
+            shard_assignment(clustered_graph, 0, partitioner="range")
+
+    def test_more_shards_than_nodes_leaves_empties(self):
+        assignment = shard_assignment(star_graph(2), 8, partitioner="range")
+        assert assignment.size == 3
+        assert set(assignment) < set(range(8))
+
+
+class TestShardedIndex:
+    def test_members_partition_the_node_set(self, clustered_index):
+        sharded = ShardedIndex.from_index(clustered_index, 4)
+        seen = np.concatenate([s.members for s in sharded.shards])
+        assert sorted(seen.tolist()) == list(range(sharded.n))
+
+    def test_summary_bounds_dominate_member_proximities(self, clustered_index):
+        """The colmax bound must upper-bound every member's exact value."""
+        sharded = ShardedIndex.from_index(clustered_index, 4)
+        y = sharded.workspace()
+        for query in range(0, sharded.n, 7):
+            rows, vals = sharded.scatter_column(y, query)
+            column = clustered_index.proximity_column(query)
+            for summary, shard in zip(sharded.summaries, sharded.shards):
+                bound = summary.bound(sharded.c, rows, vals)
+                if shard.members.size:
+                    assert bound >= column[shard.members].max()
+            sharded.clear_rows(y, rows)
+
+    def test_scan_norms_descend(self, clustered_index):
+        sharded = ShardedIndex.from_index(clustered_index, 3)
+        for shard in sharded.shards:
+            assert shard.scan_norms == sorted(shard.scan_norms, reverse=True)
+
+    def test_boundary_frac_low_for_louvain_on_clusters(self, clustered_index):
+        sharded = ShardedIndex.from_index(clustered_index, 4, partitioner="louvain")
+        fracs = [s.boundary_frac for s in sharded.summaries if s.n_members]
+        assert fracs and max(fracs) < 0.3
+
+    def test_empty_shards_are_served(self):
+        index = KDash(star_graph(2), c=0.9).build()
+        sharded = ShardedIndex.from_index(index, 8, partitioner="range")
+        planner = ScatterGatherPlanner(sharded)
+        assert planner.top_k(0, 3).items == index.top_k(0, 3).items
+
+    def test_shard_accessor_rejects_out_of_range(self, clustered_index):
+        sharded = ShardedIndex.from_index(clustered_index, 2)
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            sharded.shard(2)
+
+    def test_spec_roundtrip(self, clustered_index):
+        sharded = ShardedIndex.from_index(
+            clustered_index, 3, partitioner="range", seed=5
+        )
+        assert sharded.spec == (3, "range", 5)
+
+
+class TestCanonicalHeapHelpers:
+    def test_merge_keeps_canonical_topk(self):
+        heap = canonical_heap(10, 3)
+        merge_candidates(heap, [(4, 0.5), (7, 0.5), (2, 0.5), (9, 0.9)])
+        items = sorted(heap_items(heap))
+        # 0.9 wins, then the two *smallest-id* 0.5 nodes survive the tie.
+        assert items == [(2, 0.5), (4, 0.5), (9, 0.9)]
+
+    def test_merge_returns_new_theta(self):
+        heap = canonical_heap(5, 2)
+        theta = merge_candidates(heap, [(1, 0.4), (2, 0.7)])
+        assert theta == 0.4
+
+
+class TestScatterGatherPlanner:
+    def test_matches_engine_on_er_graph(self, er_graph):
+        index = KDash(er_graph, c=0.9).build()
+        engine = QueryEngine(index, cache_size=0)
+        planner = ScatterGatherPlanner(ShardedIndex.from_index(index, 3))
+        for q in range(0, er_graph.n_nodes, 5):
+            assert planner.top_k(q, 6).items == engine.top_k(q, 6).items
+
+    def test_skips_shards_on_clustered_graph(self, clustered_index):
+        planner = ScatterGatherPlanner(
+            ShardedIndex.from_index(clustered_index, 4, partitioner="louvain")
+        )
+        planner.top_k_many(range(clustered_index.graph.n_nodes), 5)
+        assert planner.stats.shards_skipped > 0
+        assert 0.0 < planner.stats.skip_rate <= 1.0
+        assert planner.stats.mean_fan_out < 4
+
+    def test_k_larger_than_n_pads_identically(self, clustered_index):
+        planner = ScatterGatherPlanner(ShardedIndex.from_index(clustered_index, 2))
+        n = clustered_index.graph.n_nodes
+        assert (
+            planner.top_k(0, n + 10).items
+            == clustered_index.top_k(0, n + 10).items
+        )
+
+    def test_rejects_partial_sharded_index(self, clustered_index, tmp_path):
+        from repro.core import load_sharded_index, save_sharded_index
+
+        sharded = ShardedIndex.from_index(clustered_index, 3)
+        path = str(tmp_path / "idx.npz")
+        save_sharded_index(sharded, path)
+        partial = load_sharded_index(path, only=[1])
+        with pytest.raises(InvalidParameterError, match="payload"):
+            ScatterGatherPlanner(partial)
+
+    def test_rejects_invalid_query(self, clustered_index):
+        planner = ScatterGatherPlanner(ShardedIndex.from_index(clustered_index, 2))
+        with pytest.raises(Exception):
+            planner.top_k(clustered_index.graph.n_nodes, 5)
+
+    def test_stats_dict_shape(self, clustered_index):
+        planner = ScatterGatherPlanner(ShardedIndex.from_index(clustered_index, 2))
+        planner.top_k(0, 5)
+        stats = planner.stats.as_dict()
+        for key in ("queries", "skip_rate", "mean_fan_out", "shards_skipped", "reshards"):
+            assert key in stats
+        assert stats["queries"] == 1
+        planner.reset_stats()
+        assert planner.stats.queries == 0
+
+    def test_last_plan_counters(self, clustered_index):
+        planner = ScatterGatherPlanner(ShardedIndex.from_index(clustered_index, 4))
+        planner.top_k(3, 5)
+        plan = planner.last_plan
+        assert plan.shards_visited + plan.shards_skipped <= 4
+        assert plan.fan_out == plan.shards_visited
+        assert plan.nodes_computed <= plan.nodes_checked
+
+
+class TestPlannerDynamic:
+    def test_corrected_then_resharded(self):
+        from repro.core import DynamicKDash
+
+        graph = erdos_renyi_graph(40, 0.12, seed=4)
+        dyn = DynamicKDash(graph, c=0.9, rebuild_threshold=None)
+        engine = QueryEngine(dyn)
+        planner = ScatterGatherPlanner(
+            ShardedIndex.from_index(dyn.base_index, 2), dynamic=dyn
+        )
+        assert planner.top_k(1, 4).items == engine.top_k(1, 4).items
+        engine.apply_updates(inserts=[(1, 20, 2.0)])
+        assert planner.top_k(1, 4).items == engine.top_k(1, 4).items
+        assert planner.last_plan.corrected
+        engine.rebuild()
+        engine.clear_cache()
+        assert planner.top_k(1, 4).items == engine.top_k(1, 4).items
+        assert not planner.last_plan.corrected
+        assert planner.stats.reshards == 1
+        # The planner's handle now serves the *new* sharded index.
+        assert planner.sharded is not None
