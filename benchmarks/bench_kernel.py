@@ -1,0 +1,300 @@
+"""Per-backend kernel latency on the serving smoke graph.
+
+This is the committed perf baseline for the pluggable kernel backends
+(``src/repro/query/backends/``): every registered backend runs the same
+Algorithm 4 pruned scans on the **same smoke graph as
+``bench_batch_throughput.py``** (scale-free, n=2000, m=8000, c=0.95),
+and the answers are asserted bit-identical before any number is
+reported — a backend that drifts from the ``python`` oracle fails the
+bench outright, so the committed speedups always describe *exact*
+kernels.
+
+Workloads
+---------
+Queries are the two highest out-degree hubs (deterministic on the fixed
+graph seed) — hub scans visit most of the graph, so they measure the
+kernel loop rather than per-call setup.  Five workloads per query:
+
+- ``topk10`` / ``topk100`` — heap-mode scans (the serving path).  A
+  sizeable share of their time is canonical-heap admissions, which are
+  scalar in every backend by the exactness contract, so their speedup
+  is structurally lower than the threshold scans'.
+- ``thresh1e-6`` / ``thresh1e-8`` — range-query scans (Definition 2
+  cut-off against a fixed θ).  These are scan-bound end to end and are
+  the headline kernel-speed metric (``scan_speedup``).
+- ``ppr`` — a 3-seed Personalized PageRank top-k (multi-source layer 0).
+
+Regression gate
+---------------
+``--check BENCH_kernel.json`` re-runs the bench and fails (exit 1) when
+any workload's ``numpy`` speedup degrades more than 20% below the
+committed trajectory.  The gate compares *speedups* (numpy vs python in
+the same run), not absolute latencies, so it is stable across machines;
+absolute latencies are recorded for the trajectory only.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # table
+    PYTHONPATH=src python benchmarks/bench_kernel.py --output BENCH_kernel.json
+    PYTHONPATH=src python benchmarks/bench_kernel.py --check BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import KDash
+from repro.graph import scale_free_digraph
+from repro.query.backends import available_backends, get_backend
+
+# The bench_batch_throughput smoke graph, restated (importing the
+# sibling module would depend on the invocation directory).
+N_NODES = 2000
+N_EDGES = 8000
+GRAPH_SEED = 5
+C = 0.95
+
+N_HUBS = 2
+REPS = 30
+TRIALS = 6
+GATE_TOLERANCE = 0.20  # fail when speedup drops >20% below committed
+
+#: The scan-bound workloads that define the headline ``scan_speedup``.
+SCAN_WORKLOADS = ("thresh1e-6", "thresh1e-8")
+
+
+def build_prepared():
+    graph = scale_free_digraph(N_NODES, N_EDGES, seed=GRAPH_SEED)
+    index = KDash(graph, c=C).build()
+    return graph, index, index._prepared
+
+
+def hub_queries(graph) -> List[int]:
+    """The N_HUBS highest out-degree nodes (deterministic tie-break)."""
+    degrees = [
+        (-len(graph.successors(u)), u) for u in range(graph.n_nodes)
+    ]
+    degrees.sort()
+    return [u for _, u in degrees[:N_HUBS]]
+
+
+def make_workloads(hubs: List[int]) -> List[Tuple[str, dict]]:
+    return [
+        ("topk10", dict(k=10)),
+        ("topk100", dict(k=100)),
+        ("thresh1e-6", dict(threshold=1e-6)),
+        ("thresh1e-8", dict(threshold=1e-8)),
+        ("ppr", dict(k=10, seeds={h: 1.0 for h in (*hubs, 0)})),
+    ]
+
+
+def _scan_args(prepared, y, query, spec):
+    """Resolve one workload spec to pruned-scan arguments."""
+    if "seeds" in spec:
+        shares = dict(spec["seeds"])
+        total = sum(shares.values())
+        shares = {node: w / total for node, w in shares.items()}
+        y_ppr, total_mass = prepared.seed_workspace(shares)
+        kw = {k: v for k, v in spec.items() if k != "seeds"}
+        return y_ppr, tuple(shares), total_mass, kw, None
+    rows = prepared.scatter_column(y, query)
+    return y, (query,), prepared.total_mass_of(query), dict(spec), rows
+
+
+def time_backends(prepared, y, query, spec, backends) -> Dict[str, float]:
+    """Best-of-TRIALS mean-of-REPS latency per backend, microseconds.
+
+    Trials interleave the backends so slow drift (thermal, noisy
+    neighbours) hits all of them equally instead of biasing whichever
+    ran last.
+    """
+    yw, seeds, total_mass, kw, rows = _scan_args(prepared, y, query, spec)
+    # Exactness first: the committed numbers only describe exact kernels.
+    oracle = get_backend("python").scan(
+        prepared, yw, seeds, total_mass=total_mass, **kw
+    )
+    for name in backends:
+        got = get_backend(name).scan(
+            prepared, yw, seeds, total_mass=total_mass, **kw
+        )
+        if got != oracle:
+            raise SystemExit(
+                f"backend {name!r} diverged from the python oracle on "
+                f"query {query} {kw} — refusing to report its latency"
+            )
+    best = {name: float("inf") for name in backends}
+    for _ in range(TRIALS):
+        for name in backends:
+            backend = get_backend(name)
+            t0 = time.perf_counter()
+            for _ in range(REPS):
+                backend.scan(prepared, yw, seeds, total_mass=total_mass, **kw)
+            best[name] = min(
+                best[name], (time.perf_counter() - t0) / REPS * 1e6
+            )
+    if rows is not None:
+        yw[rows] = 0.0
+    return best
+
+
+def geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_bench(quick: bool = False) -> dict:
+    global REPS, TRIALS
+    if quick:
+        REPS, TRIALS = 5, 2
+    graph, index, prepared = build_prepared()
+    hubs = hub_queries(graph)
+    backends = list(available_backends())
+    numba_backend = get_backend("numba")
+    y = np.zeros(graph.n_nodes)
+
+    results = []
+    speedups: Dict[str, Dict[str, List[float]]] = {}
+    for workload, spec in make_workloads(hubs):
+        for query in hubs:
+            latencies = time_backends(prepared, y, query, spec, backends)
+            results.append(
+                {
+                    "workload": workload,
+                    "query": query,
+                    "latency_us": {
+                        name: round(v, 1) for name, v in latencies.items()
+                    },
+                }
+            )
+            for name in backends:
+                if name == "python":
+                    continue
+                speedups.setdefault(name, {}).setdefault(
+                    workload, []
+                ).append(latencies["python"] / latencies[name])
+
+    workload_speedups = {
+        name: {w: round(geomean(v), 2) for w, v in per.items()}
+        for name, per in speedups.items()
+    }
+    headline = {
+        name: {
+            "scan_speedup": round(
+                geomean(
+                    [s for w in SCAN_WORKLOADS for s in per[w]]
+                ),
+                2,
+            ),
+            "overall_speedup": round(
+                geomean([s for v in per.values() for s in v]), 2
+            ),
+        }
+        for name, per in speedups.items()
+    }
+    return {
+        "bench": "kernel",
+        "graph": {
+            "generator": "scale_free_digraph",
+            "n_nodes": N_NODES,
+            "n_edges": N_EDGES,
+            "seed": GRAPH_SEED,
+            "c": C,
+        },
+        "queries": hubs,
+        "reps": REPS,
+        "trials": TRIALS,
+        "numba_jit_active": bool(numba_backend.jit_active),
+        "results": results,
+        "speedup": workload_speedups,
+        "headline": headline,
+    }
+
+
+def print_report(report: dict) -> None:
+    hubs = report["queries"]
+    print(
+        f"kernel bench — scale-free n={N_NODES} m={N_EDGES} c={C}, "
+        f"hub queries {hubs}, numba jit "
+        f"{'active' if report['numba_jit_active'] else 'inactive (fallback)'}"
+    )
+    for row in report["results"]:
+        lat = row["latency_us"]
+        parts = "  ".join(f"{n} {v:9.1f}us" for n, v in lat.items())
+        ratio = lat["python"] / lat["numpy"]
+        print(
+            f"  {row['workload']:11s} q={row['query']:<5d} {parts}  "
+            f"numpy {ratio:4.2f}x"
+        )
+    for name, agg in report["headline"].items():
+        print(
+            f"  headline[{name}]: scan_speedup {agg['scan_speedup']:.2f}x, "
+            f"overall {agg['overall_speedup']:.2f}x"
+        )
+
+
+def check_against(report: dict, committed_path: Path) -> int:
+    committed = json.loads(committed_path.read_text())
+    failures = []
+    base = committed["speedup"]["numpy"]
+    now = report["speedup"]["numpy"]
+    for workload, committed_speedup in base.items():
+        got = now.get(workload)
+        if got is None:
+            failures.append(f"workload {workload!r} missing from this run")
+            continue
+        floor = committed_speedup * (1.0 - GATE_TOLERANCE)
+        status = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"  gate {workload:11s}: committed {committed_speedup:5.2f}x, "
+            f"run {got:5.2f}x, floor {floor:5.2f}x — {status}"
+        )
+        if got < floor:
+            failures.append(
+                f"{workload}: numpy speedup {got:.2f}x fell >"
+                f"{GATE_TOLERANCE:.0%} below committed "
+                f"{committed_speedup:.2f}x"
+            )
+    if failures:
+        print("kernel bench regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("kernel bench regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, help="write the report JSON")
+    parser.add_argument(
+        "--check",
+        type=Path,
+        help="compare this run's speedups to a committed BENCH_kernel.json "
+        "and exit 1 on >20%% degradation",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer reps/trials (CI smoke; noisier numbers)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+    print_report(report)
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        return check_against(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ Examples
     python -m repro.cli stats --dataset Citation
     python -m repro.cli build --dataset Citation --output citation.npz
     python -m repro.cli query --index citation.npz --node 5 --k 10
+    python -m repro.cli query --index citation.npz --node 5 --backend numpy
     python -m repro.cli query --index citation.npz --batch 5,9,5,12 --k 10
     python -m repro.cli update --index citation.npz --add 0:5:2.0,3:4 \\
         --remove 1:2 --node 5 --output citation-v2.npz
@@ -76,12 +77,14 @@ Consecutive ``add``/``remove`` lines are flushed as **one** update batch
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .core import KDash, load_index, save_index
 from .datasets import DATASET_NAMES, load_dataset
 from .graph import graph_statistics, read_edge_list
+from .query.backends import ENV_VAR as _BACKEND_ENV_VAR, available_backends
 
 _EXPERIMENTS = (
     "fig2",
@@ -861,12 +864,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every scan-executing subcommand.  The choice is exported
+    # as $REPRO_KERNEL_BACKEND before any index is loaded, so spawned
+    # workers (replica pool, shard pool) inherit it too.
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="kernel backend for the pruned scans (default: "
+        f"${_BACKEND_ENV_VAR} if set, else 'python'); all backends are "
+        "bit-identical",
+    )
+
     p_stats = sub.add_parser("stats", help="summarise a synthetic dataset")
     p_stats.add_argument("--dataset", required=True, choices=DATASET_NAMES)
     p_stats.add_argument("--scale", type=float, default=1.0)
     p_stats.set_defaults(func=_cmd_stats)
 
-    p_build = sub.add_parser("build", help="build and save a K-dash index")
+    p_build = sub.add_parser(
+        "build",
+        help="build and save a K-dash index",
+        parents=[backend_parent],
+    )
     source = p_build.add_mutually_exclusive_group(required=True)
     source.add_argument("--dataset", choices=DATASET_NAMES)
     source.add_argument("--edge-list", help="path to a 'u v [w]' edge list")
@@ -894,7 +914,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--output", required=True)
     p_build.set_defaults(func=_cmd_build)
 
-    p_query = sub.add_parser("query", help="query a saved index")
+    p_query = sub.add_parser(
+        "query", help="query a saved index", parents=[backend_parent]
+    )
     p_query.add_argument("--index", required=True)
     target = p_query.add_mutually_exclusive_group(required=True)
     target.add_argument("--node", type=int, help="single query node")
@@ -906,7 +928,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.set_defaults(func=_cmd_query)
 
     p_update = sub.add_parser(
-        "update", help="apply exact edge updates to a saved index"
+        "update",
+        help="apply exact edge updates to a saved index",
+        parents=[backend_parent],
     )
     p_update.add_argument("--index", required=True)
     p_update.add_argument(
@@ -924,7 +948,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_update.set_defaults(func=_cmd_update)
 
     p_serve = sub.add_parser(
-        "serve", help="run a mixed update/query stream against a saved index"
+        "serve",
+        help="run a mixed update/query stream against a saved index",
+        parents=[backend_parent],
     )
     p_serve.add_argument("--index", required=True)
     p_serve.add_argument(
@@ -991,7 +1017,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.set_defaults(func=_cmd_serve)
 
     p_load = sub.add_parser(
-        "loadgen", help="drive synthetic traffic through the replica pool"
+        "loadgen",
+        help="drive synthetic traffic through the replica pool",
+        parents=[backend_parent],
     )
     p_load.add_argument("--index", required=True)
     p_load.add_argument("--workers", type=int, default=2)
@@ -1019,7 +1047,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--json", help="write the loadgen report here as JSON")
     p_load.set_defaults(func=_cmd_loadgen)
 
-    p_exp = sub.add_parser("experiment", help="run one paper experiment")
+    p_exp = sub.add_parser(
+        "experiment", help="run one paper experiment", parents=[backend_parent]
+    )
     p_exp.add_argument("--name", required=True, choices=_EXPERIMENTS)
     p_exp.add_argument("--scale", type=float, default=1.0)
     p_exp.set_defaults(func=_cmd_experiment)
@@ -1029,6 +1059,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        # Exported (not just threaded through) so pool workers spawned
+        # by `serve --workers` / `loadgen` inherit the same kernel.
+        os.environ[_BACKEND_ENV_VAR] = args.backend
     return args.func(args)
 
 

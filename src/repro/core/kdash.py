@@ -95,6 +95,11 @@ class KDash:
         Forwarded to :func:`repro.lu.inverse.triangular_inverses`.
     reordering_seed:
         Seed for the stochastic reorderings (Louvain sweeps / random).
+    kernel_backend:
+        Kernel backend for the pruned scan — ``"python"``, ``"numpy"``,
+        ``"numba"``, or ``None`` for the ``REPRO_KERNEL_BACKEND``
+        environment default.  Every backend is bit-identical; see
+        :mod:`repro.query.backends`.
 
     Examples
     --------
@@ -113,9 +118,17 @@ class KDash:
         lu_backend: str = "auto",
         inverse_backend: str = "auto",
         reordering_seed: int = 0,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.c = check_restart_probability(c)
+        if kernel_backend is not None:
+            # Fail fast on unknown names; None stays None so the
+            # environment is consulted at build time.
+            from ..query.backends import resolve_backend_name
+
+            kernel_backend = resolve_backend_name(kernel_backend)
+        self.kernel_backend = kernel_backend
         if isinstance(reordering, ReorderingStrategy):
             self._strategy = reordering
         else:
@@ -212,7 +225,6 @@ class KDash:
                 for u in range(n)
             ]
         self._succ_lists = succ_lists
-        self._position_list = self._perm.position.tolist()
 
         # Exact per-query total proximity mass S(q) = c * 1^T W^-1 e_q,
         # indexed by permuted position.  Feeds the estimator's t3 term:
@@ -237,6 +249,7 @@ class KDash:
             u_inv=self._u_inv,
             l_inv=self._l_inv,
             total_mass_perm=self._total_mass_perm,
+            backend=self.kernel_backend,
         )
         self._built = True
 

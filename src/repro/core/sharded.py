@@ -162,6 +162,7 @@ class ShardIndex:
         "row_indptr",
         "row_indices",
         "row_data",
+        "_backend_cache",
     )
 
     def __init__(
@@ -182,6 +183,9 @@ class ShardIndex:
         self.row_indptr = np.asarray(row_indptr, dtype=np.int64).tolist()
         self.row_indices = np.asarray(row_indices, dtype=np.int64)
         self.row_data = np.asarray(row_data, dtype=np.float64)
+        # Per-backend derived state (numpy mirrors, scratch buffers),
+        # keyed by kernel-backend name; see repro.query.backends.base.
+        self._backend_cache: dict = {}
 
     @property
     def n_members(self) -> int:
@@ -238,7 +242,7 @@ def heap_items(heap: List[Tuple[float, int, int]]) -> Tuple[Tuple[int, float], .
     return tuple((node, p) for p, _, node in heap if node >= 0)
 
 
-def scan_shard(
+def scan_shard_reference(
     shard: ShardIndex,
     c: float,
     y: np.ndarray,
@@ -246,18 +250,14 @@ def scan_shard(
     heap: List[Tuple[float, int, int]],
     floor: float = 0.0,
 ) -> Tuple[int, int]:
-    """Scan one shard's members against the canonical heap, in place.
+    """The scalar reference shard scan — the exactness oracle.
 
-    Members arrive in descending row-norm order, so the first member
-    whose Hölder bound ``c·||row||₁·max(y)`` drops below the cut-off
-    certifies every later member is out too (their bounds are no
-    larger) — the within-shard miniature of Lemma 2.  ``floor`` is an
-    externally known θ (the gather side's running K-th proximity); the
-    cut-off is ``max(floor, heap minimum)`` and only ever grows, so the
-    prune stays sound mid-scan.
-
-    Returns ``(n_checked, n_computed)``: members whose bound was
-    evaluated, and members whose exact proximity was computed.
+    This is the loop every registered kernel backend's ``scan_shard``
+    must reproduce bit-for-bit (heap state, θ evolution, counters); the
+    ``python`` backend calls it directly.  The proximity reduction is
+    the canonical sequential sum in storage order (see
+    :mod:`repro.query.backends.base`), with the trailing ``+ 0.0``
+    pinning the accumulator-starts-at-+0.0 signed-zero convention.
     """
     nodes = shard.scan_nodes
     norms = shard.scan_norms
@@ -276,10 +276,45 @@ def scan_shard(
         if cmax * norms[i] < theta:
             break
         lo, hi = indptr[i], indptr[i + 1]
-        proximity = c * (data[lo:hi] @ y[indices[lo:hi]])
+        proximity = c * float(
+            (data[lo:hi] * y[indices[lo:hi]]).cumsum()[-1] + 0.0
+        ) if hi > lo else 0.0
         computed += 1
         admit(heap, node, proximity)
     return checked, computed
+
+
+def scan_shard(
+    shard: ShardIndex,
+    c: float,
+    y: np.ndarray,
+    ymax: float,
+    heap: List[Tuple[float, int, int]],
+    floor: float = 0.0,
+    backend=None,
+) -> Tuple[int, int]:
+    """Scan one shard's members against the canonical heap, in place.
+
+    Members arrive in descending row-norm order, so the first member
+    whose Hölder bound ``c·||row||₁·max(y)`` drops below the cut-off
+    certifies every later member is out too (their bounds are no
+    larger) — the within-shard miniature of Lemma 2.  ``floor`` is an
+    externally known θ (the gather side's running K-th proximity); the
+    cut-off is ``max(floor, heap minimum)`` and only ever grows, so the
+    prune stays sound mid-scan.
+
+    ``backend`` selects the kernel backend (name, backend object, or
+    ``None`` for the ``REPRO_KERNEL_BACKEND`` environment default); all
+    backends are bit-identical, see :mod:`repro.query.backends`.
+
+    Returns ``(n_checked, n_computed)``: members whose bound was
+    evaluated, and members whose exact proximity was computed.
+    """
+    # Function-level import: repro.query.backends imports this module
+    # for the reference loop above.
+    from ..query.backends import get_backend
+
+    return get_backend(backend).scan_shard(shard, c, y, ymax, heap, floor)
 
 
 class ShardedIndex:

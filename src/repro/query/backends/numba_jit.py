@@ -1,0 +1,346 @@
+"""The ``numba`` backend: JIT-compiled scalar loop, numpy fallback.
+
+When numba is importable, the lazy-BFS scan loop is compiled with
+``numba.njit`` — the same per-node algorithm as the ``python`` reference
+backend, transcribed onto flat arrays:
+
+- The proximity reduction is a sequential ``acc += data[t] * y[idx[t]]``
+  loop.  numba's default ``fastmath=False`` forbids reassociation and
+  FMA contraction, so the compiled reduction is the canonical
+  storage-order sequential sum, bit-identical to the reference.
+- The k-dummy candidate heap is an exact transcription of CPython's
+  ``heapq`` sift functions onto parallel arrays, with the tuple compare
+  unrolled to the ``(proximity, -node)`` two-key lexicographic test (the
+  third tuple element is never compared: ``(p, -node)`` pairs are
+  unique).  Same heapify order, same heapreplace sequence, same final
+  array layout.
+
+Because the JIT path cannot be exercised in environments without numba,
+the backend **verifies itself on first use**: the first compiled scan is
+replayed on the ``python`` reference backend and compared field by
+field.  On any mismatch the backend logs a warning and permanently
+degrades to the ``numpy`` backend for the remainder of the process.
+
+Degradation ladder (never an error):
+
+1. numba importable and self-check passed -> JIT loop.
+2. numba missing (or self-check failed)   -> ``numpy`` backend.
+3. fixed-schedule scans                    -> ``python`` backend
+   (experiment path; same delegation as the numpy backend).
+
+``scan_shard`` always delegates to the numpy backend: the within-shard
+loop is dominated by the gathered matvec, which scipy already runs in C.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import ScanResult
+from .numpy_blocked import NumpyBlockedBackend
+from .python_ref import PythonReferenceBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    numba = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+
+    @numba.njit(cache=True)
+    def _siftdown(hp, hn, startpos, pos):
+        # CPython heapq._siftdown, two-key compare.
+        newp = hp[pos]
+        newn = hn[pos]
+        while pos > startpos:
+            parentpos = (pos - 1) >> 1
+            pp = hp[parentpos]
+            pn = hn[parentpos]
+            if newp < pp or (newp == pp and newn < pn):
+                hp[pos] = pp
+                hn[pos] = pn
+                pos = parentpos
+                continue
+            break
+        hp[pos] = newp
+        hn[pos] = newn
+
+    @numba.njit(cache=True)
+    def _siftup(hp, hn, pos):
+        # CPython heapq._siftup, two-key compare.
+        endpos = hp.shape[0]
+        startpos = pos
+        newp = hp[pos]
+        newn = hn[pos]
+        childpos = 2 * pos + 1
+        while childpos < endpos:
+            rightpos = childpos + 1
+            if rightpos < endpos:
+                cp = hp[childpos]
+                cn = hn[childpos]
+                rp = hp[rightpos]
+                rn = hn[rightpos]
+                if not (cp < rp or (cp == rp and cn < rn)):
+                    childpos = rightpos
+            hp[pos] = hp[childpos]
+            hn[pos] = hn[childpos]
+            pos = childpos
+            childpos = 2 * pos + 1
+        hp[pos] = newp
+        hn[pos] = newn
+        _siftdown(hp, hn, startpos, pos)
+
+    @numba.njit(cache=True)
+    def _scan_lazy(
+        n,
+        c,
+        c_prime,
+        amax,
+        total_mass,
+        k,
+        use_heap,
+        theta0,
+        seeds,
+        position,
+        indptr,
+        indices,
+        data,
+        amax_col,
+        succ_indptr,
+        succ_indices,
+        y,
+    ):
+        kk = k if use_heap else 0
+        hp = np.empty(kk, np.float64)
+        hn = np.empty(kk, np.int64)
+        for j in range(kk):
+            hp[j] = 0.0
+            hn[j] = -(n + j)
+        # CPython heapq.heapify: siftup from the last parent down.
+        for start in range(kk // 2 - 1, -1, -1):
+            _siftup(hp, hn, start)
+
+        frontier = np.empty(n, np.int64)
+        nxt = np.empty(n, np.int64)
+        seen = np.zeros(n, np.uint8)
+        fl = seeds.shape[0]
+        for i in range(fl):
+            frontier[i] = seeds[i]
+            seen[seeds[i]] = 1
+
+        theta = theta0
+        t1 = 0.0
+        t2 = 0.0
+        selected_mass = 0.0
+        n_visited = 0
+        n_computed = 0
+        terminated = False
+        ans_nodes = np.empty(n if not use_heap else 0, np.int64)
+        ans_p = np.empty(n if not use_heap else 0, np.float64)
+        n_ans = 0
+
+        layer0 = True
+        stop = False
+        while fl > 0 and not stop:
+            t1 = t2
+            t2 = 0.0
+            nl = 0
+            for fi in range(fl):
+                node = frontier[fi]
+                n_visited += 1
+                if not layer0:
+                    bound = c_prime * (
+                        t1 + t2 + (total_mass - selected_mass) * amax
+                    )
+                    if bound < theta:
+                        terminated = True
+                        stop = True
+                        break
+                pos = position[node]
+                acc = 0.0
+                for t in range(indptr[pos], indptr[pos + 1]):
+                    acc = acc + data[t] * y[indices[t]]
+                proximity = c * acc
+                n_computed += 1
+                t2 += proximity * amax_col[node]
+                selected_mass += proximity
+                if use_heap:
+                    mnode = -node
+                    if proximity > hp[0] or (
+                        proximity == hp[0] and mnode > hn[0]
+                    ):
+                        hp[0] = proximity
+                        hn[0] = mnode
+                        _siftup(hp, hn, 0)
+                        theta = hp[0]
+                elif proximity >= theta:
+                    ans_nodes[n_ans] = node
+                    ans_p[n_ans] = proximity
+                    n_ans += 1
+                for t in range(succ_indptr[node], succ_indptr[node + 1]):
+                    child = succ_indices[t]
+                    if seen[child] == 0:
+                        seen[child] = 1
+                        nxt[nl] = child
+                        nl += 1
+            tmp = frontier
+            frontier = nxt
+            nxt = tmp
+            fl = 0 if stop else nl
+            layer0 = False
+
+        return (
+            hp,
+            hn,
+            ans_nodes[:n_ans],
+            ans_p[:n_ans],
+            n_visited,
+            n_computed,
+            terminated,
+        )
+
+
+class NumbaJitBackend:
+    """JIT kernel backend with the degradation ladder (module docs)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._numpy = NumpyBlockedBackend()
+        self._reference = PythonReferenceBackend()
+        self._verified = False
+        self._degraded = not NUMBA_AVAILABLE
+
+    @property
+    def jit_active(self) -> bool:
+        """True when the compiled path is in use (not degraded)."""
+        return not self._degraded
+
+    def scan(
+        self,
+        prepared,
+        y: np.ndarray,
+        seeds,
+        *,
+        k=None,
+        threshold=None,
+        total_mass: float,
+        schedule=None,
+    ) -> ScanResult:
+        if schedule is not None:
+            return self._reference.scan(
+                prepared,
+                y,
+                seeds,
+                k=k,
+                threshold=threshold,
+                total_mass=total_mass,
+                schedule=schedule,
+            )
+        if self._degraded:
+            return self._numpy.scan(
+                prepared,
+                y,
+                seeds,
+                k=k,
+                threshold=threshold,
+                total_mass=total_mass,
+                schedule=schedule,
+            )
+        return self._scan_jit(  # pragma: no cover - needs numba
+            prepared,
+            y,
+            seeds,
+            k=k,
+            threshold=threshold,
+            total_mass=total_mass,
+        )
+
+    def _scan_jit(
+        self, prepared, y, seeds, *, k, threshold, total_mass
+    ):  # pragma: no cover - exercised only with numba
+        state = self._numpy._prepared_state(prepared)
+        n = prepared.n
+        seeds_arr = np.array(sorted(int(s) for s in seeds), dtype=np.int64)
+        use_heap = k is not None
+        hp, hn, ans_nodes, ans_p, n_visited, n_computed, terminated = (
+            _scan_lazy(
+                n,
+                prepared.c,
+                prepared.c_prime,
+                prepared.amax,
+                float(total_mass),
+                int(k) if use_heap else 0,
+                use_heap,
+                0.0 if use_heap else float(threshold),
+                seeds_arr,
+                prepared.position_arr,
+                prepared.uinv_indptr_arr,
+                state.indices64,
+                state.data64,
+                prepared.amax_col_arr,
+                state.succ_indptr,
+                state.succ_indices,
+                y,
+            )
+        )
+        if use_heap:
+            # hn holds -node for real entries, -(n+j) for dummies; the
+            # raw heap array order is the contract.
+            items = tuple(
+                (int(-hn[j]), float(hp[j]))
+                for j in range(hp.shape[0])
+                if -hn[j] < n
+            )
+        else:
+            items = tuple(
+                (int(ans_nodes[i]), float(ans_p[i]))
+                for i in range(ans_nodes.shape[0])
+            )
+        result = ScanResult(
+            items=items,
+            n_visited=int(n_visited),
+            n_computed=int(n_computed),
+            n_pruned=n - int(n_visited),
+            terminated_early=bool(terminated),
+        )
+        if not self._verified:
+            expected = self._reference.scan(
+                prepared,
+                y,
+                seeds,
+                k=k,
+                threshold=threshold,
+                total_mass=total_mass,
+                schedule=None,
+            )
+            if result != expected:
+                warnings.warn(
+                    "numba kernel backend failed its first-use "
+                    "self-check against the python reference; "
+                    "degrading to the numpy backend",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._degraded = True
+                return expected
+            self._verified = True
+        return result
+
+    def scan_shard(
+        self,
+        shard,
+        c: float,
+        y: np.ndarray,
+        ymax: float,
+        heap: List[Tuple[float, int, int]],
+        floor: float = 0.0,
+    ) -> Tuple[int, int]:
+        return self._numpy.scan_shard(shard, c, y, ymax, heap, floor)

@@ -526,7 +526,9 @@ class QueryEngine:
         scatter = prepared.scatter_column
         clear = prepared.clear_rows
         total_mass_perm = prepared.total_mass_perm
-        position = prepared.position
+        # The array mirror, not the lazy list: a batch served by a
+        # vectorised backend must not force the plain-list conversions.
+        position = prepared.position_arr
         for q in qlist:
             if q in resolved:
                 dedup_hits += 1

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
-from ..core.sharded import ShardedIndex, canonical_heap, heap_items, scan_shard
+from ..core.sharded import ShardedIndex, canonical_heap, heap_items
 from ..core.topk import TopKResult
 from ..exceptions import InvalidParameterError
 from ..validation import check_k, check_node_id
@@ -140,6 +140,7 @@ class ScatterGatherPlanner:
         self,
         sharded: ShardedIndex,
         dynamic=None,
+        backend=None,
     ) -> None:
         for shard_id, payload in enumerate(sharded.shards):
             if payload is None:
@@ -148,6 +149,13 @@ class ScatterGatherPlanner:
                     "every shard loaded (pass only= loads to shard workers "
                     "instead)"
                 )
+        # Resolve the kernel backend once (name, object, or the
+        # REPRO_KERNEL_BACKEND environment default); every per-shard
+        # scan of this planner goes through it.  All backends are
+        # bit-identical — see repro.query.backends.
+        from .backends import get_backend
+
+        self._backend = get_backend(backend)
         self._sharded = sharded
         self._dynamic = dynamic
         self._seen_serial = dynamic.update_serial if dynamic is not None else 0
@@ -214,7 +222,7 @@ class ScatterGatherPlanner:
         heap = canonical_heap(n, k)
 
         home = sharded.home_shard(query)
-        checked, computed = scan_shard(
+        checked, computed = self._backend.scan_shard(
             sharded.shard(home), sharded.c, y, ymax, heap
         )
         visited = 1
@@ -231,7 +239,7 @@ class ScatterGatherPlanner:
                 # shard is certified out as well.
                 skipped = len(order) - rank
                 break
-            shard_checked, shard_computed = scan_shard(
+            shard_checked, shard_computed = self._backend.scan_shard(
                 sharded.shard(shard_id), sharded.c, y, ymax, heap
             )
             checked += shard_checked

@@ -58,7 +58,13 @@ from .snapshot import Snapshot
 
 
 def _plan_home(sharded, worker_id: int, y, query: int, k: int):
-    """One home-phase evaluation inside a shard worker."""
+    """One home-phase evaluation inside a shard worker.
+
+    ``scan_shard`` here is the kernel-backend dispatcher: worker
+    processes inherit ``REPRO_KERNEL_BACKEND`` from the parent, so one
+    environment variable selects the backend for the whole shard pool
+    (all backends are bit-identical; see :mod:`repro.query.backends`).
+    """
     rows, vals = sharded.scatter_column(y, query)
     ymax = float(vals.max()) if vals.size else 0.0
     heap = canonical_heap(sharded.n, k)

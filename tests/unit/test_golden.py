@@ -28,8 +28,13 @@ from repro.graph import (
     planted_partition_graph,
 )
 from repro.query import QueryEngine, ScatterGatherPlanner
+from repro.query.backends import available_backends
 
 GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "fixtures" / "golden"
+
+#: The committed bytes must reproduce under every kernel backend — the
+#: fixtures are backend-independent by the registry's exactness contract.
+BACKENDS = sorted(available_backends())
 
 
 def paper_tiny_graph() -> DiGraph:
@@ -57,10 +62,10 @@ CASES = {
 }
 
 
-def compute_answers(name: str) -> dict:
+def compute_answers(name: str, backend: str = "python") -> dict:
     """The current answers of one case, in the serialised golden shape."""
     factory, c, queries, k = CASES[name]
-    index = KDash(factory(), c=c).build()
+    index = KDash(factory(), c=c, kernel_backend=backend).build()
     engine = QueryEngine(index, cache_size=0)
     return {
         "case": name,
@@ -86,27 +91,35 @@ def regen(request) -> bool:
 
 
 class TestGoldenAnswers:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("name", sorted(CASES))
-    def test_engine_answers_are_byte_stable(self, name, regen):
-        current = compute_answers(name)
+    def test_engine_answers_are_byte_stable(self, name, backend, regen):
+        if regen and backend != "python":
+            # Fixtures regenerate from the oracle only; the other
+            # backends re-assert on the next normal run.
+            pytest.skip("regenerating golden bytes from the python oracle")
+        current = compute_answers(name, backend)
         path = golden_path(name)
         if regen:
             GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(current, indent=2) + "\n", encoding="utf-8")
         expected = json.loads(path.read_text(encoding="utf-8"))
         assert current == expected, (
-            f"golden case {name!r} drifted; if the change is intentional, "
-            "regenerate with --regen-golden and review the fixture diff"
+            f"golden case {name!r} drifted under backend {backend!r}; if "
+            "the change is intentional, regenerate with --regen-golden "
+            "and review the fixture diff"
         )
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("name", sorted(CASES))
     @pytest.mark.parametrize("n_shards,partitioner", [(2, "range"), (3, "louvain")])
-    def test_sharded_planner_matches_golden(self, name, n_shards, partitioner):
+    def test_sharded_planner_matches_golden(self, name, n_shards, partitioner, backend):
         """The scatter-gather plan reproduces the committed bytes too."""
         factory, c, queries, k = CASES[name]
         index = KDash(factory(), c=c).build()
         planner = ScatterGatherPlanner(
-            ShardedIndex.from_index(index, n_shards, partitioner=partitioner)
+            ShardedIndex.from_index(index, n_shards, partitioner=partitioner),
+            backend=backend,
         )
         expected = json.loads(golden_path(name).read_text(encoding="utf-8"))
         for q_str, items in expected["answers"].items():
