@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core import DynamicKDash, load_index
 from repro.graph import scale_free_digraph
+from repro.obs import MetricsRegistry, Tracer, write_metrics_json
 from repro.query import QueryEngine
 from repro.serving import (
     MicroBatchScheduler,
@@ -204,6 +205,52 @@ def bench_churn(store, snapshot, workers, batch_size, n_chunks,
     return row
 
 
+def bench_telemetry(snapshot, workers, queries, batch_size,
+                    metrics_path, trace_path) -> Dict:
+    """Section 5: one instrumented run, artifacts for CI.
+
+    Serves the stream with a live registry and a 1-in-10 trace sampler,
+    then writes the pool-merged metrics JSON and the JSONL trace log —
+    the scrape/trace artifacts the observability quickstart documents.
+    """
+    registry, tracer = MetricsRegistry(), Tracer(sample_every=10)
+    with ReplicaPool(snapshot, workers) as pool:
+        scheduler = MicroBatchScheduler(
+            pool, router="hash", batch_size=batch_size,
+            registry=registry, tracer=tracer,
+        )
+        t0 = time.perf_counter()
+        scheduler.run(queries, K)
+        seconds = time.perf_counter() - t0
+        merged = MetricsRegistry()
+        merged.merge(registry)
+        merged.merge(pool.collect_metrics())
+    envelope = scheduler.latency.percentiles()
+    spans = tracer.export()
+    row = {
+        "workers": workers,
+        "queries": len(queries),
+        "queries_per_second": len(queries) / seconds,
+        "latency": envelope,
+        "spans": len(spans),
+        "traces": len({s["trace_id"] for s in spans}),
+    }
+    if metrics_path:
+        write_metrics_json(merged, metrics_path,
+                           extra={"benchmark": "serving_scaleout"})
+        row["metrics_artifact"] = metrics_path
+    if trace_path:
+        tracer.write_jsonl(trace_path)
+        row["trace_artifact"] = trace_path
+    print(
+        f"  instrumented ({workers} workers): p50 "
+        f"{envelope['p50'] * 1e3:.2f} ms, p95 {envelope['p95'] * 1e3:.2f} ms, "
+        f"p99 {envelope['p99'] * 1e3:.2f} ms over {envelope['count']} "
+        f"requests; {row['spans']} spans / {row['traces']} traces"
+    )
+    return row
+
+
 # ----------------------------------------------------------------------
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -214,6 +261,14 @@ def main() -> None:
     parser.add_argument(
         "--output", default="BENCH_serving_scaleout.json",
         help="where --smoke writes its JSON report",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        help="write the instrumented run's merged metrics snapshot here",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        help="write the instrumented run's span records here (JSONL)",
     )
     args = parser.parse_args()
 
@@ -261,6 +316,12 @@ def main() -> None:
             store, snapshot, min(2, max_workers), config["batch_size"],
             config["churn_chunks"], config["churn_queries"],
             config["churn_updates"], config["n"], seed=23,
+        )
+
+        print(f"\ninstrumented run ({max_workers} workers, telemetry on):")
+        results["telemetry"] = bench_telemetry(
+            snapshot, max_workers, queries, config["batch_size"],
+            args.metrics_json, args.trace_jsonl,
         )
 
     top = results["scaleout"][str(config["worker_counts"][-1])]

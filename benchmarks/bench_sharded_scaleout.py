@@ -42,6 +42,7 @@ from typing import Dict, List
 
 from repro.core import DynamicKDash, KDash, ShardedIndex
 from repro.graph import planted_partition_graph
+from repro.obs import MetricsRegistry, Tracer, write_metrics_json
 from repro.query import QueryEngine, ScatterGatherPlanner
 from repro.serving import (
     ShardPool,
@@ -125,8 +126,16 @@ def bench_planner_grid(
     return rows
 
 
-def bench_shard_pool(graph, n_shards: int, queries, reference_engine) -> Dict:
-    """Section 3: the process tier — one worker per shard."""
+def bench_shard_pool(graph, n_shards: int, queries, reference_engine,
+                     metrics_path=None, trace_path=None) -> Dict:
+    """Section 3: the process tier — one worker per shard.
+
+    With ``metrics_path``/``trace_path`` the run is instrumented (live
+    registry, 1-in-10 trace sampling) and the pool-merged metrics JSON
+    plus JSONL trace log are written as CI artifacts.
+    """
+    registry = MetricsRegistry() if (metrics_path or trace_path) else None
+    tracer = Tracer(sample_every=10) if trace_path else None
     with tempfile.TemporaryDirectory(prefix="kdash-sharded-bench-") as directory:
         store = SnapshotStore(directory)
         dyn = DynamicKDash(graph.copy(), c=C, rebuild_threshold=None)
@@ -135,11 +144,17 @@ def bench_shard_pool(graph, n_shards: int, queries, reference_engine) -> Dict:
         )
         snapshot = publisher.publish()
         with ShardPool(snapshot) as pool:
-            scheduler = ShardedScheduler(pool, batch_size=16)
+            scheduler = ShardedScheduler(
+                pool, batch_size=16, registry=registry, tracer=tracer
+            )
             t0 = time.perf_counter()
             got = scheduler.run(queries, K)
             seconds = time.perf_counter() - t0
             agg = scheduler.aggregate_stats(scheduler.collect_stats())
+            if registry is not None:
+                merged = MetricsRegistry()
+                merged.merge(registry)
+                merged.merge(pool.collect_metrics())
     want = reference_engine.top_k_many(queries, K)
     bit_identical = [r.items for r in got] == [r.items for r in want]
     row = {
@@ -152,6 +167,25 @@ def bench_shard_pool(graph, n_shards: int, queries, reference_engine) -> Dict:
         "remote_queries": agg["remote_queries"],
         "bit_identical": bit_identical,
     }
+    if registry is not None:
+        envelope = scheduler.latency.percentiles()
+        row["latency"] = envelope
+        print(
+            f"  latency envelope: p50 {envelope['p50'] * 1e3:.2f} ms, "
+            f"p95 {envelope['p95'] * 1e3:.2f} ms, "
+            f"p99 {envelope['p99'] * 1e3:.2f} ms "
+            f"over {envelope['count']} requests"
+        )
+    if metrics_path:
+        write_metrics_json(merged, metrics_path,
+                           extra={"benchmark": "sharded_scaleout"})
+        row["metrics_artifact"] = metrics_path
+    if trace_path:
+        spans = tracer.export()
+        tracer.write_jsonl(trace_path)
+        row["spans"] = len(spans)
+        row["traces"] = len({s["trace_id"] for s in spans})
+        row["trace_artifact"] = trace_path
     print(
         f"  shard pool ({n_shards} workers): "
         f"{row['queries_per_second']:8,.0f} q/s, "
@@ -169,6 +203,14 @@ def main() -> int:
         help="tiny graph + short workloads (CI artifact mode)",
     )
     parser.add_argument("--output", help="write the JSON report here")
+    parser.add_argument(
+        "--metrics-json",
+        help="write the pool run's merged metrics snapshot here",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        help="write the pool run's span records here (JSONL)",
+    )
     args = parser.parse_args()
 
     if args.smoke:
@@ -210,6 +252,8 @@ def main() -> int:
         shard_counts[-1],
         workloads["skewed"][: max(100, n_queries // 4)],
         engine,
+        metrics_path=args.metrics_json,
+        trace_path=args.trace_jsonl,
     )
 
     skewed_skips = [r["skip_rate"] for r in grid if r["workload"] == "skewed"

@@ -36,11 +36,24 @@ Commands
     either way.
 ``loadgen``
     Synthesise a query workload (zipf or uniform, optionally interleaved
-    with update/publish cycles) and drive it through the replica pool,
-    reporting throughput, hit rates and routing balance.
+    with update/publish cycles) and drive it through the replica pool —
+    or, with ``--sharded``, through shard-owning workers — reporting
+    throughput, per-request latency percentiles (p50/p95/p99), hit
+    rates and routing balance.
+``metrics``
+    Render a metrics JSON artifact (from ``serve --metrics-json`` /
+    ``loadgen --metrics-json``) as a table or as Prometheus text
+    exposition format.
 ``experiment``
     Run a single paper experiment (fig2 ... table2, restart_sweep) and
     print its table.
+
+Observability flags (``serve`` and ``loadgen``): ``--metrics-json
+PATH`` dumps the merged metrics registry (gather side + every worker)
+as sorted-key JSON; ``--metrics-interval S`` re-dumps it periodically
+while the stream runs; ``--trace-jsonl PATH`` samples per-query trace
+spans (1 in ``--trace-sample``) across the process boundary and writes
+the span log as JSONL.
 
 Examples
 --------
@@ -359,6 +372,120 @@ def _print_engine_stats(stats: dict, header: str = "final engine stats:") -> Non
             print(f"  {key}: {value}")
 
 
+def _serve_telemetry(args):
+    """(registry, tracer) per the shared observability flags (or Nones)."""
+    from .obs import MetricsRegistry, Tracer
+
+    registry = (
+        MetricsRegistry()
+        if (args.metrics_json or args.metrics_interval)
+        else None
+    )
+    tracer = Tracer(sample_every=args.trace_sample) if args.trace_jsonl else None
+    return registry, tracer
+
+
+class _MetricsDump:
+    """Periodic + final metrics-JSON dumps behind ``--metrics-json``.
+
+    ``collect`` returns the registry to dump — the gather-side registry
+    merged with every worker's, for the pool modes.  Each dump rewrites
+    the artifact in place (the file is a snapshot, not a log), stamped
+    with a monotone ``dumps`` count.
+    """
+
+    def __init__(self, path, interval, collect) -> None:
+        import time
+
+        self.path = path
+        self.interval = float(interval or 0.0)
+        self.collect = collect
+        self.dumps = 0
+        self._last = time.perf_counter()
+
+    def tick(self) -> None:
+        """Dump when the interval has elapsed (no-op without one)."""
+        if not self.path or not self.interval:
+            return
+        import time
+
+        now = time.perf_counter()
+        if now - self._last >= self.interval:
+            self._dump()
+            self._last = now
+
+    def final(self) -> None:
+        if self.path:
+            self._dump()
+            print(f"wrote metrics JSON ({self.dumps} dumps) to {self.path}")
+
+    def _dump(self) -> None:
+        from .obs import write_metrics_json
+
+        self.dumps += 1
+        write_metrics_json(self.collect(), self.path, extra={"dumps": self.dumps})
+
+
+def _finish_trace(tracer, path) -> None:
+    """Write the sampled span log as JSONL and say what went where."""
+    if tracer is None:
+        return
+    records = tracer.export()
+    tracer.write_jsonl(path)
+    traces = len({r["trace_id"] for r in records})
+    print(f"wrote {len(records)} spans across {traces} traces to {path}")
+
+
+def _ticked_handlers(dump, handlers):
+    """Wrap the op handlers so every op boundary ticks the periodic dump.
+
+    Periodic dumps piggyback on op boundaries: the stream is the clock
+    (no background thread to leak into worker spawns).  Without an
+    interval the handlers pass through untouched.
+    """
+    if not (dump.path and dump.interval):
+        return handlers
+
+    def ticked(fn):
+        def wrapper(*handler_args):
+            out = fn(*handler_args)
+            dump.tick()
+            return out
+
+        return wrapper
+
+    return [ticked(fn) for fn in handlers]
+
+
+def _merged_pool_metrics(registry, pool):
+    """Gather-side registry folded with every worker's (pool-level view).
+
+    Safe only between op/run boundaries — the worker metrics round-trip
+    shares the reply queue with batch results.
+    """
+    from .obs import MetricsRegistry
+
+    merged = MetricsRegistry()
+    if registry is not None:
+        merged.merge(registry)
+    merged.merge(pool.collect_metrics())
+    return merged
+
+
+def _print_latency_envelope(histogram) -> None:
+    """The per-request latency line the mean-throughput figure hides."""
+    env = histogram.percentiles()
+    if not env["count"]:
+        return
+    print(
+        f"request latency (n={env['count']}): "
+        f"p50 {env['p50'] * 1e3:.3f} ms, "
+        f"p95 {env['p95'] * 1e3:.3f} ms, "
+        f"p99 {env['p99'] * 1e3:.3f} ms, "
+        f"max {env['max'] * 1e3:.3f} ms"
+    )
+
+
 def _read_ops(args) -> Optional[List[str]]:
     if args.ops == "-":
         return sys.stdin.read().splitlines()
@@ -486,14 +613,25 @@ def _cmd_serve(args) -> int:
     if args.workers:
         return _serve_pool(args, lines)
 
+    registry, tracer = _serve_telemetry(args)
+    if tracer is not None:
+        print(
+            "note: --trace-jsonl needs --workers or --sharded "
+            "(in-process serving emits no cross-process spans)"
+        )
+        tracer = None
     index = load_index(args.index)
     policy = RebuildPolicy(max_rank=args.max_rank, max_slowdown=args.max_slowdown)
     engine = QueryEngine(
         DynamicKDash.from_index(index, rebuild_threshold=None),
         cache_size=args.cache_size,
         rebuild_policy=policy,
+        registry=registry,
     )
     graph = engine.dynamic.graph
+    dump = _MetricsDump(
+        args.metrics_json, args.metrics_interval, lambda: engine.metrics
+    )
 
     def flush(inserts, deletes, first_line) -> Optional[str]:
         try:
@@ -537,7 +675,9 @@ def _cmd_serve(args) -> int:
         print(f"[epoch {engine.epoch}] forced rebuild (#{engine.stats.rebuilds})")
 
     t_start = time.perf_counter()
-    code = _run_ops_stream(lines, args.k, flush, on_query, on_batch, on_rebuild)
+    code = _run_ops_stream(
+        lines, args.k, *_ticked_handlers(dump, [flush, on_query, on_batch, on_rebuild])
+    )
     if code != 0:
         return code
     total = time.perf_counter() - t_start
@@ -552,6 +692,7 @@ def _cmd_serve(args) -> int:
         f"hit rate {agg.hit_rate:.2f}"
     )
     _print_engine_stats(engine.stats.as_dict())
+    dump.final()
     return 0
 
 
@@ -580,10 +721,11 @@ def _serve_pool(args, lines: List[str]) -> int:
     publisher_engine = QueryEngine(
         DynamicKDash.from_index(index, rebuild_threshold=None)
     )
+    registry, tracer = _serve_telemetry(args)
 
     with tempfile.TemporaryDirectory(prefix="kdash-snapshots-") as default_dir:
         store = SnapshotStore(args.snapshot_dir or default_dir)
-        publisher = SnapshotPublisher(publisher_engine, store)
+        publisher = SnapshotPublisher(publisher_engine, store, registry=registry)
         snapshot = publisher.publish()
         print(
             f"published snapshot epoch {snapshot.epoch}; starting "
@@ -592,7 +734,16 @@ def _serve_pool(args, lines: List[str]) -> int:
         )
         pool = ReplicaPool(snapshot, args.workers, cache_size=args.cache_size)
         scheduler = MicroBatchScheduler(
-            pool, router=args.router, batch_size=args.batch_size
+            pool,
+            router=args.router,
+            batch_size=args.batch_size,
+            registry=registry,
+            tracer=tracer,
+        )
+        dump = _MetricsDump(
+            args.metrics_json,
+            args.metrics_interval,
+            lambda: _merged_pool_metrics(registry, pool),
         )
 
         def flush(inserts, deletes, first_line) -> Optional[str]:
@@ -636,7 +787,11 @@ def _serve_pool(args, lines: List[str]) -> int:
         t_start = time.perf_counter()
         try:
             code = _run_ops_stream(
-                lines, args.k, flush, on_query, on_batch, on_rebuild
+                lines,
+                args.k,
+                *_ticked_handlers(
+                    dump, [flush, on_query, on_batch, on_rebuild]
+                ),
             )
             if code != 0:
                 return code
@@ -654,6 +809,10 @@ def _serve_pool(args, lines: List[str]) -> int:
             _print_engine_stats(
                 publisher.engine.stats.as_dict(), header="final publisher stats:"
             )
+            if registry is not None:
+                _print_latency_envelope(scheduler.latency)
+            dump.final()
+            _finish_trace(tracer, args.trace_jsonl)
         finally:
             pool.close()
     return 0
@@ -688,10 +847,15 @@ def _serve_sharded(args, lines: List[str]) -> int:
         DynamicKDash.from_index(index, rebuild_threshold=None)
     )
 
+    registry, tracer = _serve_telemetry(args)
+
     with tempfile.TemporaryDirectory(prefix="kdash-snapshots-") as default_dir:
         store = SnapshotStore(args.snapshot_dir or default_dir)
         publisher = SnapshotPublisher(
-            publisher_engine, store, shard_spec=(args.shards, args.partitioner)
+            publisher_engine,
+            store,
+            shard_spec=(args.shards, args.partitioner),
+            registry=registry,
         )
         snapshot = publisher.publish()
         print(
@@ -700,7 +864,14 @@ def _serve_sharded(args, lines: List[str]) -> int:
             f"worker per shard (batch size {args.batch_size})"
         )
         pool = ShardPool(snapshot)
-        scheduler = ShardedScheduler(pool, batch_size=args.batch_size)
+        scheduler = ShardedScheduler(
+            pool, batch_size=args.batch_size, registry=registry, tracer=tracer
+        )
+        dump = _MetricsDump(
+            args.metrics_json,
+            args.metrics_interval,
+            lambda: _merged_pool_metrics(registry, pool),
+        )
 
         def flush(inserts, deletes, first_line) -> Optional[str]:
             try:
@@ -747,7 +918,11 @@ def _serve_sharded(args, lines: List[str]) -> int:
         t_start = time.perf_counter()
         try:
             code = _run_ops_stream(
-                lines, args.k, flush, on_query, on_batch, on_rebuild
+                lines,
+                args.k,
+                *_ticked_handlers(
+                    dump, [flush, on_query, on_batch, on_rebuild]
+                ),
             )
             if code != 0:
                 return code
@@ -761,21 +936,35 @@ def _serve_sharded(args, lines: List[str]) -> int:
                 f"routed {scheduler.routed_counts}"
             )
             _print_engine_stats(agg, header="final shard-pool stats:")
+            if registry is not None:
+                _print_latency_envelope(scheduler.latency)
+            dump.final()
+            _finish_trace(tracer, args.trace_jsonl)
         finally:
             pool.close()
     return 0
 
 
 def _cmd_loadgen(args) -> int:
-    """The ``loadgen`` path: synthetic traffic through the replica pool."""
+    """The ``loadgen`` path: synthetic traffic through the serving tier.
+
+    Default is the replica pool; ``--sharded`` drives the same workload
+    through shard-owning workers instead (routing is then by home
+    shard, so ``--router`` is ignored).  The scheduler always runs with
+    a live metrics registry — the per-request latency envelope is the
+    point of a load test.
+    """
     import json
     import tempfile
 
     from .core import DynamicKDash
+    from .obs import MetricsRegistry, Tracer
     from .query import QueryEngine
     from .serving import (
         MicroBatchScheduler,
         ReplicaPool,
+        ShardPool,
+        ShardedScheduler,
         SnapshotPublisher,
         SnapshotStore,
         make_queries,
@@ -788,22 +977,50 @@ def _cmd_loadgen(args) -> int:
         DynamicKDash.from_index(index, rebuild_threshold=None)
     )
     queries = make_queries(n, args.queries, args.dist, seed=args.seed)
+    registry = MetricsRegistry()
+    tracer = Tracer(sample_every=args.trace_sample) if args.trace_jsonl else None
+    shard_spec = (args.shards, args.partitioner) if args.sharded else None
 
     with tempfile.TemporaryDirectory(prefix="kdash-snapshots-") as default_dir:
         store = SnapshotStore(args.snapshot_dir or default_dir)
-        publisher = SnapshotPublisher(publisher_engine, store)
-        snapshot = publisher.publish()
-        print(
-            f"index: n={n:,} nodes; workload: {args.queries} {args.dist} "
-            f"queries, k={args.k}, {args.workers} workers, "
-            f"router {args.router}, batch size {args.batch_size}"
+        publisher = SnapshotPublisher(
+            publisher_engine, store, shard_spec=shard_spec, registry=registry
         )
-        with ReplicaPool(
-            snapshot, args.workers, cache_size=args.cache_size
-        ) as pool:
-            scheduler = MicroBatchScheduler(
-                pool, router=args.router, batch_size=args.batch_size
+        snapshot = publisher.publish()
+        if args.sharded:
+            print(
+                f"index: n={n:,} nodes; workload: {args.queries} {args.dist} "
+                f"queries, k={args.k}, {args.shards} shard workers "
+                f"({args.partitioner}), batch size {args.batch_size}"
             )
+            pool_ctx = ShardPool(snapshot)
+        else:
+            print(
+                f"index: n={n:,} nodes; workload: {args.queries} {args.dist} "
+                f"queries, k={args.k}, {args.workers} workers, "
+                f"router {args.router}, batch size {args.batch_size}"
+            )
+            pool_ctx = ReplicaPool(
+                snapshot, args.workers, cache_size=args.cache_size
+            )
+        with pool_ctx as pool:
+            if args.sharded:
+                scheduler = ShardedScheduler(
+                    pool,
+                    batch_size=args.batch_size,
+                    registry=registry,
+                    tracer=tracer,
+                )
+                router_name = "home"
+            else:
+                scheduler = MicroBatchScheduler(
+                    pool,
+                    router=args.router,
+                    batch_size=args.batch_size,
+                    registry=registry,
+                    tracer=tracer,
+                )
+                router_name = args.router
             report = run_load(
                 scheduler,
                 queries,
@@ -812,14 +1029,26 @@ def _cmd_loadgen(args) -> int:
                 update_every=args.update_every,
                 updates_per_batch=args.updates_per_batch,
                 seed=args.seed,
-                router_name=args.router,
+                router_name=router_name,
             )
+            if args.metrics_json:
+                from .obs import write_metrics_json
+
+                write_metrics_json(
+                    _merged_pool_metrics(registry, pool), args.metrics_json
+                )
+                print(f"wrote metrics JSON to {args.metrics_json}")
+    hit = (
+        f"hit rate {report.pool_stats['hit_rate']:.2f}"
+        if "hit_rate" in report.pool_stats
+        else f"skip rate {report.pool_stats['skip_rate']:.2f}"
+    )
     print(
         f"served {report.n_queries} queries in {report.seconds:.2f}s: "
-        f"{report.queries_per_second:,.0f} q/s, "
-        f"hit rate {report.pool_stats['hit_rate']:.2f}, "
+        f"{report.queries_per_second:,.0f} q/s, {hit}, "
         f"routed {report.routed_counts}"
     )
+    _print_latency_envelope(scheduler.latency)
     if report.update_batches:
         print(
             f"churn: {report.update_batches} update batches "
@@ -827,10 +1056,57 @@ def _cmd_loadgen(args) -> int:
             f"{report.snapshots_published} snapshots hot-swapped"
         )
     _print_engine_stats(report.pool_stats, header="final pool stats:")
+    _finish_trace(tracer, args.trace_jsonl)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """The ``metrics`` path: render a metrics JSON artifact for humans
+    (table) or scrapers (Prometheus text exposition format)."""
+    import json
+
+    from .obs import MetricsRegistry, read_metrics_json, to_prometheus
+
+    try:
+        payload = read_metrics_json(args.input)
+        registry = MetricsRegistry.from_snapshot(payload["metrics"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot read metrics file {args.input!r}: {exc}")
+        return 2
+    if args.format == "prometheus":
+        print(to_prometheus(registry), end="")
+        return 0
+    meta = {k: v for k, v in payload.items() if k != "metrics"}
+    if meta:
+        print(f"metadata: {json.dumps(meta, sort_keys=True)}")
+    counters, gauges, histograms = (
+        registry.counters(),
+        registry.gauges(),
+        registry.histograms(),
+    )
+    if counters:
+        print("counters:")
+        for c in counters:
+            print(f"  {c.name:55s} {c.value:,.0f}")
+    if gauges:
+        print("gauges:")
+        for g in gauges:
+            print(f"  {g.name:55s} {g.value:g}")
+    if histograms:
+        print("histograms (seconds unless the name says otherwise):")
+        for h in histograms:
+            env = h.percentiles()
+            print(
+                f"  {h.name:55s} n={env['count']:<8d} "
+                f"p50={env['p50']:.6f} p95={env['p95']:.6f} "
+                f"p99={env['p99']:.6f} max={env['max']:.6f}"
+            )
+    if not (counters or gauges or histograms):
+        print("(empty registry)")
     return 0
 
 
@@ -875,6 +1151,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel backend for the pruned scans (default: "
         f"${_BACKEND_ENV_VAR} if set, else 'python'); all backends are "
         "bit-identical",
+    )
+
+    # Shared by serve and loadgen: the observability surface.
+    telemetry_parent = argparse.ArgumentParser(add_help=False)
+    telemetry_parent.add_argument(
+        "--metrics-json",
+        help="write the merged metrics registry (gather side + workers) "
+        "here as sorted-key JSON",
+    )
+    telemetry_parent.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        help="re-dump --metrics-json every this many seconds while the "
+        "stream runs (0 = final dump only)",
+    )
+    telemetry_parent.add_argument(
+        "--trace-jsonl",
+        help="write sampled per-query trace spans here as JSONL "
+        "(pool modes only)",
+    )
+    telemetry_parent.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        help="trace 1 in N submitted queries (default: every query)",
     )
 
     p_stats = sub.add_parser("stats", help="summarise a synthetic dataset")
@@ -950,7 +1252,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve",
         help="run a mixed update/query stream against a saved index",
-        parents=[backend_parent],
+        parents=[backend_parent, telemetry_parent],
     )
     p_serve.add_argument("--index", required=True)
     p_serve.add_argument(
@@ -1018,8 +1320,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_load = sub.add_parser(
         "loadgen",
-        help="drive synthetic traffic through the replica pool",
-        parents=[backend_parent],
+        help="drive synthetic traffic through the serving tier",
+        parents=[backend_parent, telemetry_parent],
     )
     p_load.add_argument("--index", required=True)
     p_load.add_argument("--workers", type=int, default=2)
@@ -1045,7 +1347,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_load.add_argument("--snapshot-dir", help="snapshot directory (default: temp)")
     p_load.add_argument("--json", help="write the loadgen report here as JSON")
+    p_load.add_argument(
+        "--sharded",
+        action="store_true",
+        help="drive shard-owning workers (one process per shard, "
+        "scatter-gather planning) instead of full replicas",
+    )
+    p_load.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for --sharded load generation",
+    )
+    p_load.add_argument(
+        "--partitioner",
+        default="louvain",
+        choices=("louvain", "range"),
+        help="node->shard assignment for --sharded load generation",
+    )
     p_load.set_defaults(func=_cmd_loadgen)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="render a metrics JSON artifact (table or Prometheus text)",
+    )
+    p_metrics.add_argument(
+        "--input", required=True, help="metrics JSON file from --metrics-json"
+    )
+    p_metrics.add_argument(
+        "--format",
+        default="table",
+        choices=("table", "prometheus"),
+        help="human-readable table or Prometheus text exposition format",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_exp = sub.add_parser(
         "experiment", help="run one paper experiment", parents=[backend_parent]

@@ -1,0 +1,65 @@
+"""Cross-tier observability: metrics, trace spans, exporters.
+
+The paper's contribution is *accounting* — Lemma 1–2 bounds deciding
+what not to compute — and the serving stack already counts that work
+per call (``n_visited``/``n_computed``/``n_pruned``).  This package
+turns those counts plus wall-clock into an operable telemetry surface:
+
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket latency :class:`Histogram`\\ s with
+  exact-quantile-free p50/p95/p99 estimation, mergeable across worker
+  processes; :data:`NULL_REGISTRY` keeps uninstrumented hot paths at
+  one attribute check.
+- :mod:`repro.obs.tracing` — per-query :class:`Span` trees whose
+  context travels across the process boundary inside the micro-batch
+  envelope (``scheduler.query → scheduler.route → worker.batch →
+  kernel.scan``), with the scan counters and kernel-backend name on the
+  leaf; :data:`NULL_TRACER` is the off switch.
+- :mod:`repro.obs.export` — Prometheus text exposition, byte-stable
+  JSON snapshots (CI artifacts, ``serve --metrics-json``), and the
+  JSONL trace log behind ``--trace-jsonl``.
+
+Every consumer takes ``registry=``/``tracer=`` keyword arguments
+defaulting to the null singletons, so telemetry is strictly opt-in and
+its overhead budget (≤5% on engine throughput, asserted by
+``tests/unit/test_obs_overhead.py``) is enforced in tier-1.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    default_latency_buckets,
+)
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl, remote_span
+from .export import (
+    read_metrics_json,
+    registry_from_file,
+    to_prometheus,
+    write_metrics_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "default_latency_buckets",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "remote_span",
+    "read_jsonl",
+    "to_prometheus",
+    "write_metrics_json",
+    "read_metrics_json",
+    "registry_from_file",
+]

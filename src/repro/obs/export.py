@@ -1,0 +1,114 @@
+"""Exporters: Prometheus text exposition and JSON metric snapshots.
+
+Two consumers, two formats, one source of truth
+(:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`):
+
+- **Prometheus text format** (:func:`to_prometheus`) — the scrape
+  surface; histograms render as cumulative ``_bucket{le="..."}`` series
+  plus ``_sum``/``_count``, exactly the shape ``histogram_quantile``
+  expects on the server side.
+- **JSON snapshot** (:func:`write_metrics_json` /
+  :func:`read_metrics_json`) — the artifact surface: byte-stable
+  (sorted keys) dumps for CI artifacts, the ``serve --metrics-json``
+  periodic exporter, and the ``repro metrics`` CLI renderer.  The round
+  trip ``read → MetricsRegistry.from_snapshot → snapshot`` is exact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry
+
+
+def _prom_name(name: str):
+    """Split a registry name into (metric, label-suffix) Prometheus parts.
+
+    Registry names carry labels inline (``repro_x_seconds{mode=top_k}``);
+    the exposition format wants the values quoted and, for histograms,
+    the braces after the series suffix — so the halves are re-rendered
+    here rather than passed through.
+    """
+    if "{" not in name:
+        return name, ""
+    metric, labels = name.split("{", 1)
+    pairs = []
+    for pair in labels.rstrip("}").split(","):
+        key, _, value = pair.partition("=")
+        pairs.append(f'{key}="{value}"')
+    return metric, "{" + ",".join(pairs) + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry as Prometheus text exposition format."""
+    lines = []
+    typed = set()
+
+    def header(metric: str, kind: str, help_text: str) -> None:
+        if metric in typed:
+            return
+        typed.add(metric)
+        if help_text:
+            lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+
+    for counter in registry.counters():
+        metric, labels = _prom_name(counter.name)
+        header(metric, "counter", counter.help)
+        lines.append(f"{metric}{labels} {_fmt(counter.value)}")
+    for gauge in registry.gauges():
+        metric, labels = _prom_name(gauge.name)
+        header(metric, "gauge", gauge.help)
+        lines.append(f"{metric}{labels} {_fmt(gauge.value)}")
+    for hist in registry.histograms():
+        metric, labels = _prom_name(hist.name)
+        header(metric, "histogram", hist.help)
+        base = labels[1:-1] if labels else ""  # strip the braces
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            pairs = (base + "," if base else "") + f'le="{_fmt(bound)}"'
+            lines.append(f"{metric}_bucket{{{pairs}}} {cumulative}")
+        pairs = (base + "," if base else "") + 'le="+Inf"'
+        lines.append(f"{metric}_bucket{{{pairs}}} {hist.count}")
+        lines.append(f"{metric}_sum{labels} {_fmt(hist.sum)}")
+        lines.append(f"{metric}_count{labels} {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_json(
+    registry: MetricsRegistry,
+    path: str,
+    extra: Optional[Dict[str, object]] = None,
+) -> None:
+    """Dump the registry (plus optional metadata) as a sorted-key JSON file."""
+    payload: Dict[str, object] = dict(extra or {})
+    payload["metrics"] = registry.snapshot()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_metrics_json(path: str) -> Dict[str, object]:
+    """Load a :func:`write_metrics_json` file back (payload dict)."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def registry_from_file(path: str) -> MetricsRegistry:
+    """Rebuild a registry from a ``write_metrics_json`` artifact."""
+    return MetricsRegistry.from_snapshot(read_metrics_json(path)["metrics"])

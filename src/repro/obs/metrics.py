@@ -1,0 +1,453 @@
+"""Low-overhead metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the one instrumentation surface every serving tier
+registers into — :class:`~repro.query.engine.QueryEngine`,
+:class:`~repro.query.planner.ScatterGatherPlanner`, the micro-batch and
+sharded schedulers, and :class:`~repro.serving.publisher.SnapshotPublisher`
+all take an optional registry and record into it when it is enabled.
+
+Design constraints, in order:
+
+1. **Hot paths pay one attribute check when telemetry is off.**  Every
+   instrumented call site guards on ``registry.enabled``; the
+   :data:`NULL_REGISTRY` singleton answers ``False`` and hands out
+   no-op instruments, so an uninstrumented engine and an engine holding
+   the null registry run the same code to within one ``if``.
+2. **Exact-quantile-free percentiles.**  Latency distributions are kept
+   as fixed-bucket histograms (log-spaced boundaries, 1µs…60s by
+   default): O(1) per observation, O(buckets) per scrape, and
+   **mergeable across workers** by adding bucket counts — which is how
+   per-worker histograms fold into one pool-level p99.  Quantiles are
+   estimated by linear interpolation inside the owning bucket, clamped
+   to the observed min/max so a one-sample histogram reports that
+   sample exactly.
+3. **Stable export.**  :meth:`MetricsRegistry.snapshot` is a plain
+   JSON-stable dict (sorted keys, no floats derived from dict order);
+   :func:`repro.obs.export.to_prometheus` renders the same state as
+   Prometheus text exposition format.
+
+Examples
+--------
+>>> reg = MetricsRegistry()
+>>> reg.counter("queries_total").inc(3)
+>>> h = reg.histogram("request_seconds")
+>>> for ms in (1, 2, 4):
+...     h.observe(ms / 1000.0)
+>>> h.count
+3
+>>> round(h.quantile(1.0), 6)
+0.004
+>>> NULL_REGISTRY.enabled
+False
+>>> NULL_REGISTRY.counter("ignored").inc()   # no-op, no state
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import InvalidParameterError
+
+
+def default_latency_buckets() -> Tuple[float, ...]:
+    """Log-spaced latency boundaries (seconds): 1µs … 60s, 4 per decade.
+
+    The top-k scan costs ~100µs warm and a snapshot load seconds — one
+    bucket ladder covers both with ≤ ~78% relative error per bucket,
+    tight enough for SLO envelopes without per-sample storage.
+    """
+    bounds = [10.0 ** (e / 4.0) for e in range(-24, 7)]  # 1e-6 .. ~31.6
+    bounds.append(60.0)
+    return tuple(bounds)
+
+
+DEFAULT_LATENCY_BUCKETS = default_latency_buckets()
+
+
+class Counter:
+    """Monotone counter.  ``inc`` only; negative increments are rejected."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc({amount!r}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value: set/inc/dec."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimation.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit +inf bucket catches the overflow.  Per-observation cost is
+    one ``bisect`` plus four scalar updates — no per-sample storage, so
+    a histogram's memory is constant and two histograms with the same
+    bounds merge by adding counts (the per-worker → pool fold).
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(float(b) for b in (bounds or DEFAULT_LATENCY_BUCKETS))
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise InvalidParameterError(
+                f"histogram {name!r} bounds must be strictly increasing "
+                f"and non-empty, got {bounds!r}"
+            )
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 ≤ q ≤ 1) from bucket counts.
+
+        Linear interpolation inside the owning bucket, with the bucket
+        edges tightened to the observed ``min``/``max`` — so an empty
+        histogram returns 0.0, a one-sample histogram returns that
+        sample for every q, and no estimate ever leaves the observed
+        range (the +inf bucket interpolates up to ``max``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile wants 0..1, got {q!r}")
+        if self.count == 0:
+            return 0.0
+        if self.count == 1 or q >= 1.0:
+            return self.max if q > 0.0 else self.min
+        # Rank of the target sample (0-based, continuous).
+        target = q * (self.count - 1)
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count > target:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min) if lo < self.min else lo
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return hi
+                frac = (target - seen) / bucket_count
+                return lo + frac * (hi - lo)
+            seen += bucket_count
+        return self.max  # pragma: no cover - q<1 always lands above
+
+    def percentiles(self) -> Dict[str, float]:
+        """The SLO envelope: p50/p95/p99 plus count/mean/min/max."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram in place.
+
+        Both histograms must share bucket bounds — the invariant that
+        makes per-worker histograms addable at the pool level.
+        """
+        if other.bounds != self.bounds:
+            raise InvalidParameterError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name!r} vs {other.name!r})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def state(self) -> Dict[str, object]:
+        """JSON-stable serialisation (inverse of :meth:`from_state`)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_state(
+        cls, name: str, state: Dict[str, object], help: str = ""
+    ) -> "Histogram":
+        h = cls(name, help=help, bounds=state["bounds"])
+        h.counts = [int(c) for c in state["counts"]]
+        h.count = int(state["count"])
+        h.sum = float(state["sum"])
+        h.min = math.inf if state["min"] is None else float(state["min"])
+        h.max = -math.inf if state["max"] is None else float(state["max"])
+        return h
+
+
+def _key(name: str, labels: Optional[Dict[str, str]]) -> Tuple:
+    if not labels:
+        return (name,)
+    return (name,) + tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: Tuple) -> str:
+    if len(key) == 1:
+        return key[0]
+    pairs = ",".join(f"{k}={v}" for k, v in key[1:])
+    return f"{key[0]}{{{pairs}}}"
+
+
+class MetricsRegistry:
+    """Name → instrument map, one per serving process.
+
+    Instruments are created on first use and identified by
+    ``(name, sorted labels)``; repeated calls return the same object, so
+    call sites can fetch-and-record inline without caching handles
+    (though hot paths should cache — attribute lookups are the tax).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple, Counter] = {}
+        self._gauges: Dict[Tuple, Gauge] = {}
+        self._histograms: Dict[Tuple, Histogram] = {}
+        self._collectors: List = []
+        self._collecting = False
+
+    def add_collector(self, fn) -> None:
+        """Register a scrape-time sync callback.
+
+        Collectors run (idempotently) before any read of the registry —
+        :meth:`snapshot`, the sorted listings, :meth:`merge`.  They let
+        hot call sites keep their own cheap aggregates and mirror them
+        into instruments only when somebody actually looks: the engine
+        pays one histogram observation per call instead of a dozen
+        counter stores (the 5% overhead budget of
+        ``tests/unit/test_obs_overhead.py``).
+        """
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Run every registered collector (reentrancy-guarded)."""
+        if self._collecting or not self._collectors:
+            return
+        self._collecting = True
+        try:
+            for fn in self._collectors:
+                fn()
+        finally:
+            self._collecting = False
+
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(_label_str(key), help)
+        return instrument
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(_label_str(key), help)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                _label_str(key), help, bounds=bounds
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    def counters(self) -> List[Counter]:
+        self.collect()
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> List[Gauge]:
+        self.collect()
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> List[Histogram]:
+        self.collect()
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-stable dict of the whole registry state."""
+        return {
+            "counters": {c.name: c.value for c in self.counters()},
+            "gauges": {g.name: g.value for g in self.gauges()},
+            "histograms": {h.name: h.state() for h in self.histograms()},
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (round-trip)."""
+        reg = cls()
+        for name, value in snapshot.get("counters", {}).items():
+            reg._counters[(name,)] = c = Counter(name)
+            c.value = float(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            reg._gauges[(name,)] = g = Gauge(name)
+            g.value = float(value)
+        for name, state in snapshot.get("histograms", {}).items():
+            reg._histograms[(name,)] = Histogram.from_state(name, state)
+        return reg
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges take the other
+        side's value, histograms merge bucket-wise (per-worker fold)."""
+        self.collect()
+        other.collect()
+        for key, counter in other._counters.items():
+            self.counter(key[0], labels=dict(key[1:]) or None)
+            self._counters[key].value += counter.value
+        for key, gauge in other._gauges.items():
+            self.gauge(key[0], labels=dict(key[1:]) or None)
+            self._gauges[key].value = gauge.value
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self.histogram(
+                    key[0], labels=dict(key[1:]) or None, bounds=hist.bounds
+                )
+            mine.merge(hist)
+
+
+class _NullInstrument:
+    """Answers every instrument method with a no-op."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The telemetry-off registry: one attribute check, no state.
+
+    Shares the :class:`MetricsRegistry` surface so call sites never
+    branch on registry type — only on :attr:`enabled` when they want to
+    skip argument construction too.
+    """
+
+    enabled = False
+
+    def counter(self, name, help="", labels=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labels=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labels=None, bounds=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def counters(self) -> list:
+        return []
+
+    def gauges(self) -> list:
+        return []
+
+    def histograms(self) -> list:
+        return []
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, other) -> None:
+        pass
+
+    def add_collector(self, fn) -> None:
+        pass
+
+    def collect(self) -> None:
+        pass
+
+
+#: Process-wide no-op singleton; the default of every ``registry=``
+#: parameter in the query and serving layers.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,290 @@
+"""Per-query trace spans with a context that crosses process boundaries.
+
+One traced query yields a span tree::
+
+    scheduler.query                      (root, gather side)
+    ├── scheduler.route                  (router decision, worker id)
+    └── worker.batch                     (replica / shard process)
+        └── kernel.scan                  (leaf: scan counters + backend)
+
+The pieces:
+
+- :class:`Span` — a mutable record (ids, name, wall-clock start,
+  duration, tags).  ``trace_id``/``span_id`` are allocated from a
+  deterministic per-tracer sequence, so traces are reproducible run to
+  run (no wall-clock or PRNG in the ids themselves).
+- :class:`Tracer` — allocates spans, collects finished ones (local and
+  remote), samples (``sample_every``-th query gets a trace), and
+  exports JSONL.
+- **context propagation** — :meth:`Span.context` is a tiny picklable
+  dict ``{"trace_id", "span_id"}`` that rides inside the micro-batch
+  envelope; the worker side builds child span *records* with
+  :func:`remote_span` (no tracer object needed in the worker) and ships
+  the finished dicts back in the reply envelope, where
+  :meth:`Tracer.absorb` files them under the originating trace.
+
+Cross-process clocks: ``start`` is ``time.time()`` (comparable across
+processes to wall-clock accuracy) while ``seconds`` is measured with
+``perf_counter`` deltas (monotone within a process).  Span *ordering*
+therefore comes from the tree structure, not timestamp arithmetic.
+
+Examples
+--------
+>>> tracer = Tracer()
+>>> root = tracer.start("scheduler.query", tags={"query": 3})
+>>> child = tracer.start("scheduler.route", parent=root)
+>>> tracer.finish(child)
+>>> tracer.finish(root)
+>>> [s["name"] for s in tracer.export()]
+['scheduler.route', 'scheduler.query']
+>>> tracer.export()[0]["trace_id"] == tracer.export()[1]["trace_id"]
+True
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter, time
+from typing import Dict, List, Optional
+
+#: Context dict keys (the only state that crosses the wire forward).
+CTX_TRACE = "trace_id"
+CTX_SPAN = "span_id"
+
+
+class Span:
+    """One timed, tagged node of a trace tree."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "seconds",
+        "tags",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = time()
+        self.seconds: Optional[float] = None
+        self.tags: Dict[str, object] = dict(tags) if tags else {}
+        self._t0 = perf_counter()
+
+    def context(self) -> Dict[str, int]:
+        """The picklable propagation context for child spans elsewhere."""
+        return {CTX_TRACE: self.trace_id, CTX_SPAN: self.span_id}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "tags": dict(self.tags),
+        }
+
+
+def remote_span(
+    ctx: Dict[str, int],
+    span_id: int,
+    name: str,
+    seconds: float,
+    tags: Optional[Dict[str, object]] = None,
+    parent_id: Optional[int] = None,
+) -> Dict[str, object]:
+    """Build a finished child-span *record* on the far side of the wire.
+
+    Workers have no tracer; they mint span dicts under the caller's
+    trace context and ship them back in the reply envelope.  ``span_id``
+    (and ``parent_id``, when linking to another remote span of the same
+    worker) are the worker's own positive ordinals; they are stored
+    *negated* so the absorbing tracer can tell worker-minted ids apart
+    from gather-side ids copied out of the context — the two sequences
+    both start at 1 and would otherwise be ambiguous.  Parents defaulted
+    from ``ctx`` stay positive and survive :meth:`Tracer.absorb`
+    untouched.
+    """
+    return {
+        "trace_id": ctx[CTX_TRACE],
+        "span_id": -int(span_id),
+        "parent_id": ctx[CTX_SPAN] if parent_id is None else -int(parent_id),
+        "name": name,
+        "start": time() - seconds,
+        "seconds": seconds,
+        "tags": dict(tags) if tags else {},
+    }
+
+
+class Tracer:
+    """Span factory + collector + sampler for one serving process.
+
+    Parameters
+    ----------
+    sample_every:
+        Trace every N-th sampling decision (1 = trace everything).  The
+        decision is taken by :meth:`sample`, which call sites consult
+        once per request; non-sampled requests cost one modulo.
+    max_spans:
+        Retention cap of the in-memory span buffer; the oldest finished
+        spans are dropped beyond it (traces are exported incrementally
+        in long-running serves, so the cap only bounds memory).
+    """
+
+    enabled = True
+
+    def __init__(self, sample_every: int = 1, max_spans: int = 100_000) -> None:
+        if sample_every < 1:
+            sample_every = 1
+        self.sample_every = int(sample_every)
+        self.max_spans = int(max_spans)
+        self._next_trace = 0
+        self._next_span = 0
+        self._decisions = 0
+        self._finished: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    def sample(self) -> bool:
+        """One sampling decision; True on every ``sample_every``-th call."""
+        decision = self._decisions % self.sample_every == 0
+        self._decisions += 1
+        return decision
+
+    def start(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        tags: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Open a span; a new trace when ``parent`` is None."""
+        self._next_span += 1
+        if parent is None:
+            self._next_trace += 1
+            trace_id, parent_id = self._next_trace, None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(trace_id, self._next_span, parent_id, name, tags)
+
+    def finish(self, span: Span, tags: Optional[Dict[str, object]] = None) -> None:
+        """Close a span (idempotence not required) and buffer its record."""
+        span.seconds = perf_counter() - span._t0
+        if tags:
+            span.tags.update(tags)
+        self._buffer(span.as_dict())
+
+    def absorb(
+        self, records: List[Dict[str, object]], namespace: Optional[int] = None
+    ) -> None:
+        """File remote span records under their originating traces.
+
+        ``namespace`` (e.g. a worker id) is folded into the remote span
+        ids so ids minted independently by different workers cannot
+        collide.  Worker-minted ids arrive *negative* (see
+        :func:`remote_span`) and are lifted into a per-worker positive
+        band; parent links to gather-side spans (positive ids the remote
+        side copied out of the context) are left alone.
+        """
+        if namespace is None:
+            for record in records:
+                self._buffer(dict(record))
+            return
+        # Remote ids are small negated per-worker ordinals; lift them
+        # into a per-worker band far above the gather side's sequence.
+        base = (namespace + 1) * 1_000_000_000
+        for record in records:
+            record = dict(record)
+            if record["span_id"] < 0:
+                record["span_id"] = base - record["span_id"]
+            parent = record["parent_id"]
+            if parent is not None and parent < 0:
+                record["parent_id"] = base - parent
+            self._buffer(record)
+
+    def _buffer(self, record: Dict[str, object]) -> None:
+        self._finished.append(record)
+        if len(self._finished) > self.max_spans:
+            del self._finished[: len(self._finished) - self.max_spans]
+
+    # ------------------------------------------------------------------
+    def export(self) -> List[Dict[str, object]]:
+        """Finished span records in completion order."""
+        return list(self._finished)
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Export and clear the buffer (incremental JSONL flushing)."""
+        records, self._finished = self._finished, []
+        return records
+
+    def trace_tree(self, trace_id: int) -> Dict[Optional[int], List[dict]]:
+        """``parent_id -> [children]`` adjacency of one finished trace."""
+        tree: Dict[Optional[int], List[dict]] = {}
+        for record in self._finished:
+            if record["trace_id"] == trace_id:
+                tree.setdefault(record["parent_id"], []).append(record)
+        return tree
+
+    def write_jsonl(self, path: str, append: bool = False) -> int:
+        """Write (or append) every buffered span as one JSON line each."""
+        records = self.export()
+        with open(path, "a" if append else "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+class NullTracer:
+    """Telemetry-off tracer: every surface answers without allocating."""
+
+    enabled = False
+    sample_every = 0
+
+    def sample(self) -> bool:
+        return False
+
+    def start(self, name, parent=None, tags=None) -> None:
+        return None
+
+    def finish(self, span, tags=None) -> None:
+        pass
+
+    def absorb(self, records, namespace=None) -> None:
+        pass
+
+    def export(self) -> list:
+        return []
+
+    def drain(self) -> list:
+        return []
+
+    def write_jsonl(self, path, append: bool = False) -> int:
+        return 0
+
+
+#: Process-wide no-op singleton; the default of every ``tracer=``
+#: parameter in the serving layers.
+NULL_TRACER = NullTracer()
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL trace log back into span records (tests, tooling)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

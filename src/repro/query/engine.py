@@ -41,6 +41,7 @@ import numpy as np
 
 from ..core.topk import TopKResult
 from ..exceptions import InvalidParameterError
+from ..obs.metrics import NULL_REGISTRY
 from ..validation import check_k, check_node_id, check_non_negative_int
 from .kernel import pruned_scan, scan_to_topk
 from .stats import EngineStats, QueryStats
@@ -136,6 +137,13 @@ class QueryEngine:
         corrected queries; only meaningful with a dynamic index
         (rejected otherwise).  ``None`` leaves rebuilds to the caller
         and to ``DynamicKDash.rebuild_threshold``.
+    registry:
+        A :class:`~repro.obs.metrics.MetricsRegistry` every call
+        records into (per-mode latency histograms, cache/scan/pruning
+        counters, epoch gauges).  ``None`` installs the no-op
+        :data:`~repro.obs.metrics.NULL_REGISTRY`, keeping the hot path
+        at a single ``enabled`` attribute check — the ≤5% overhead
+        budget of ``tests/unit/test_obs_overhead.py``.
 
     Examples
     --------
@@ -168,6 +176,7 @@ class QueryEngine:
         cache_size: int = 1024,
         history_size: int = 64,
         rebuild_policy: Optional[RebuildPolicy] = None,
+        registry=None,
     ) -> None:
         # Duck-typed dynamic detection keeps the import graph acyclic
         # (core.kdash itself imports this package).
@@ -186,6 +195,14 @@ class QueryEngine:
                 "rebuild_policy requires a DynamicKDash-backed engine"
             )
         self.rebuild_policy = rebuild_policy
+        #: The metrics sink; NULL_REGISTRY (enabled=False) unless the
+        #: caller opted into telemetry.
+        self.metrics = NULL_REGISTRY if registry is None else registry
+        # Per-mode instrument handles, resolved lazily by _observe.
+        self._metric_handles: dict = {}
+        # Counters/gauges mirror EngineStats aggregates at scrape time
+        # (per-call work stays one histogram observation; see _observe).
+        self.metrics.add_collector(self._sync_metrics)
         self.cache_size = check_non_negative_int(cache_size, "cache_size")
         history_size = check_non_negative_int(history_size, "history_size")
         self._cache: "OrderedDict[tuple, TopKResult]" = OrderedDict()
@@ -433,6 +450,101 @@ class QueryEngine:
         self.last_stats = stats
         self.history.append(stats)
         self.stats.record(stats)
+        if self.metrics.enabled:
+            self._observe(stats)
+
+    def _observe(self, stats: QueryStats) -> None:
+        """Record the per-call latency sample into the metrics registry.
+
+        This is the *only* per-call registry touch: latency must be
+        observed live (a histogram cannot be reconstructed later), but
+        every counter and gauge mirrors an :class:`EngineStats`
+        aggregate the engine maintains anyway, so those sync lazily in
+        :meth:`_sync_metrics` — a scrape-time collector — instead of on
+        the hot path.  Touching one histogram instead of a dozen
+        instruments per call is what keeps an instrumented engine
+        inside the ≤5% overhead budget
+        (``tests/unit/test_obs_overhead.py``): the extra cost is cache
+        pollution as much as instructions.
+        """
+        handles = self._metric_handles.get(stats.mode)
+        if handles is None:
+            handles = self._metric_handles[stats.mode] = self._make_handles(
+                stats.mode
+            )
+        handles["call_seconds"].observe(stats.seconds)
+
+    def _sync_metrics(self) -> None:
+        """Scrape-time collector: mirror lifetime aggregates into the
+        registry (registered via ``MetricsRegistry.add_collector``)."""
+        agg = self.stats
+        for mode, handles in self._metric_handles.items():
+            handles["calls"].value = agg.by_mode.get(mode, 0)
+            # The unlabelled handles are shared objects across modes;
+            # re-storing them per mode is harmless idempotence.
+            handles["queries"].value = agg.queries_served
+            handles["cache_hits"].value = agg.cache_hits
+            handles["dedup_hits"].value = agg.dedup_hits
+            handles["scans"].value = agg.scans_executed
+            handles["corrected"].value = agg.corrected_queries
+            handles["visited"].value = agg.n_visited
+            handles["computed"].value = agg.n_computed
+            handles["pruned"].value = agg.n_pruned
+            handles["epoch"].value = self.epoch
+            handles["pending_rank"].value = self._pending_rank()
+            handles["cache_entries"].value = len(self._cache)
+
+    def _make_handles(self, mode: str) -> dict:
+        """Resolve the per-mode instrument set (once, then cached)."""
+        metrics = self.metrics
+        return {
+            "call_seconds": metrics.histogram(
+                "repro_engine_call_seconds",
+                help="wall-clock seconds per engine call",
+                labels={"mode": mode},
+            ),
+            "calls": metrics.counter(
+                "repro_engine_calls_total",
+                help="engine calls",
+                labels={"mode": mode},
+            ),
+            "queries": metrics.counter(
+                "repro_engine_queries_total", help="input queries served"
+            ),
+            "cache_hits": metrics.counter(
+                "repro_engine_cache_hits_total", help="LRU result-cache hits"
+            ),
+            "dedup_hits": metrics.counter(
+                "repro_engine_dedup_hits_total", help="within-batch dedup hits"
+            ),
+            "scans": metrics.counter(
+                "repro_engine_scans_total", help="pruned scans executed"
+            ),
+            "visited": metrics.counter(
+                "repro_engine_visited_total",
+                help="nodes visited by executed scans",
+            ),
+            "computed": metrics.counter(
+                "repro_engine_computed_total",
+                help="exact proximities computed by executed scans",
+            ),
+            "pruned": metrics.counter(
+                "repro_engine_pruned_total",
+                help="nodes pruned (Lemma 1-2) by executed scans",
+            ),
+            "corrected": metrics.counter(
+                "repro_engine_corrected_scans_total",
+                help="scans served on the Woodbury-corrected path",
+            ),
+            "epoch": metrics.gauge("repro_engine_epoch", help="update epoch"),
+            "pending_rank": metrics.gauge(
+                "repro_engine_pending_rank",
+                help="pending Woodbury correction rank",
+            ),
+            "cache_entries": metrics.gauge(
+                "repro_engine_cache_entries", help="LRU result-cache entries"
+            ),
+        }
 
     @staticmethod
     def _ewma(current: Optional[float], sample: float) -> float:

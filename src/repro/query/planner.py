@@ -33,6 +33,7 @@ and re-derives its shards before the next clean query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, List, Optional
 
 from ..core.sharded import ShardedIndex, canonical_heap, heap_items
@@ -141,6 +142,7 @@ class ScatterGatherPlanner:
         sharded: ShardedIndex,
         dynamic=None,
         backend=None,
+        registry=None,
     ) -> None:
         for shard_id, payload in enumerate(sharded.shards):
             if payload is None:
@@ -155,6 +157,8 @@ class ScatterGatherPlanner:
         # bit-identical — see repro.query.backends.
         from .backends import get_backend
 
+        from ..obs.metrics import NULL_REGISTRY
+
         self._backend = get_backend(backend)
         self._sharded = sharded
         self._dynamic = dynamic
@@ -162,6 +166,10 @@ class ScatterGatherPlanner:
         self._workspace = sharded.workspace()
         self.stats = PlannerStats()
         self.last_plan: Optional[PlanStats] = None
+        #: Metrics sink (plan latency, fan-out/skip counters); the
+        #: no-op singleton unless the caller opted into telemetry.
+        self.metrics = NULL_REGISTRY if registry is None else registry
+        self._metric_handles: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @property
@@ -197,6 +205,7 @@ class ScatterGatherPlanner:
     # ------------------------------------------------------------------
     def top_k(self, query: int, k: int = 5) -> TopKResult:
         """Exact top-k via home-first scatter-gather with shard skipping."""
+        t0 = perf_counter()
         if self._sync():
             result = self._dynamic.top_k(query, k)
             plan = PlanStats(
@@ -210,6 +219,8 @@ class ScatterGatherPlanner:
             )
             self.last_plan = plan
             self.stats.record(plan, self._sharded.n_shards)
+            if self.metrics.enabled:
+                self._observe(plan, perf_counter() - t0)
             return result
         sharded = self._sharded  # _sync may have re-sharded
         n = sharded.n
@@ -265,7 +276,52 @@ class ScatterGatherPlanner:
         )
         self.last_plan = plan
         self.stats.record(plan, sharded.n_shards)
+        if self.metrics.enabled:
+            self._observe(plan, perf_counter() - t0)
         return result
+
+    def _observe(self, plan: PlanStats, seconds: float) -> None:
+        """Fold one plan into the metrics registry (handles cached once)."""
+        handles = self._metric_handles
+        if handles is None:
+            metrics = self.metrics
+            handles = self._metric_handles = {
+                "seconds": metrics.histogram(
+                    "repro_planner_seconds",
+                    help="wall-clock seconds per planned query",
+                ),
+                "pruned": metrics.counter(
+                    "repro_planner_queries_total",
+                    help="planned queries",
+                    labels={"path": "pruned"},
+                ),
+                "corrected": metrics.counter(
+                    "repro_planner_queries_total",
+                    help="planned queries",
+                    labels={"path": "corrected"},
+                ),
+                "visited": metrics.counter(
+                    "repro_planner_shards_visited_total", help="shards scanned"
+                ),
+                "skipped": metrics.counter(
+                    "repro_planner_shards_skipped_total",
+                    help="shards skipped by the cross-shard bound",
+                ),
+                "checked": metrics.counter(
+                    "repro_planner_nodes_checked_total",
+                    help="nodes bound-checked",
+                ),
+                "computed": metrics.counter(
+                    "repro_planner_nodes_computed_total",
+                    help="exact proximities computed",
+                ),
+            }
+        handles["seconds"].observe(seconds)
+        handles["corrected" if plan.corrected else "pruned"].inc()
+        handles["visited"].inc(plan.shards_visited)
+        handles["skipped"].inc(plan.shards_skipped)
+        handles["checked"].inc(plan.nodes_checked)
+        handles["computed"].inc(plan.nodes_computed)
 
     def top_k_many(self, queries: Iterable[int], k: int = 5) -> List[TopKResult]:
         """Plan a batch of queries; results in input order.

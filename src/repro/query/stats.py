@@ -109,6 +109,9 @@ class EngineStats:
     dedup_hits: int = 0
     scans_executed: int = 0
     corrected_queries: int = 0
+    n_visited: int = 0
+    n_computed: int = 0
+    n_pruned: int = 0
     total_seconds: float = 0.0
     by_mode: Dict[str, int] = field(default_factory=dict)
     update_batches: int = 0
@@ -128,6 +131,9 @@ class EngineStats:
         self.scans_executed += stats.executed
         if stats.corrected:
             self.corrected_queries += stats.executed
+        self.n_visited += stats.n_visited
+        self.n_computed += stats.n_computed
+        self.n_pruned += stats.n_pruned
         self.total_seconds += stats.seconds
         self.by_mode[stats.mode] = self.by_mode.get(stats.mode, 0) + 1
 
@@ -147,6 +153,9 @@ class EngineStats:
             "dedup_hits": self.dedup_hits,
             "scans_executed": self.scans_executed,
             "corrected_queries": self.corrected_queries,
+            "n_visited": self.n_visited,
+            "n_computed": self.n_computed,
+            "n_pruned": self.n_pruned,
             "total_seconds": self.total_seconds,
             "hit_rate": self.hit_rate,
             "by_mode": dict(self.by_mode),

@@ -116,6 +116,11 @@ class LoadgenReport:
     pool_stats: Dict[str, object] = field(default_factory=dict)
     per_worker_stats: List[dict] = field(default_factory=list)
     routed_counts: List[int] = field(default_factory=list)
+    #: Per-request submit→result latency envelope (count/mean/min/max/
+    #: p50/p95/p99), from the scheduler's ``repro_request_seconds``
+    #: histogram.  Empty when the scheduler ran without a registry —
+    #: mean throughput alone hides the tail this exposes.
+    latency: Dict[str, float] = field(default_factory=dict)
 
     @property
     def queries_per_second(self) -> float:
@@ -137,6 +142,7 @@ class LoadgenReport:
             "snapshots_published": self.snapshots_published,
             "pool_stats": self.pool_stats,
             "routed_counts": list(self.routed_counts),
+            "latency": dict(self.latency),
         }
 
 
@@ -191,6 +197,12 @@ def run_load(
     results = scheduler.take_results(seqs)
     assert len(results) == len(queries)
     per_worker = scheduler.collect_stats()
+    latency = getattr(scheduler, "latency", None)
+    envelope = (
+        latency.percentiles()
+        if latency is not None and getattr(scheduler.metrics, "enabled", False)
+        else {}
+    )
     return LoadgenReport(
         n_queries=len(queries),
         k=k,
@@ -204,4 +216,5 @@ def run_load(
         pool_stats=scheduler.aggregate_stats(per_worker),
         per_worker_stats=per_worker,
         routed_counts=list(scheduler.routed_counts),
+        latency=envelope,
     )

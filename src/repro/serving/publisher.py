@@ -22,10 +22,12 @@ tests compare the pool against.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional, Tuple
 
 from ..core.sharded import SHARD_PARTITIONERS, ShardedIndex
 from ..exceptions import InvalidParameterError
+from ..obs.metrics import NULL_REGISTRY
 from ..query.engine import QueryEngine
 from ..validation import check_choice, check_positive_int
 from .snapshot import Snapshot, SnapshotStore
@@ -51,6 +53,10 @@ class SnapshotPublisher:
         with :meth:`~repro.core.sharded.ShardedIndex.from_index` and the
         manifest-plus-payloads layout is written, ready for a
         :class:`~repro.serving.sharded.ShardPool` to hot-swap.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: publish
+        count/latency, updates-applied counters, and the current epoch
+        gauge.  ``None`` = telemetry off.
     """
 
     def __init__(
@@ -58,6 +64,7 @@ class SnapshotPublisher:
         engine: QueryEngine,
         store: SnapshotStore,
         shard_spec: Optional[Tuple] = None,
+        registry=None,
     ) -> None:
         if engine.dynamic is None:
             raise InvalidParameterError(
@@ -79,6 +86,7 @@ class SnapshotPublisher:
             check_choice(parts[1], SHARD_PARTITIONERS, "partitioner")
             shard_spec = (int(parts[0]), str(parts[1]), int(parts[2]))
         self.shard_spec = shard_spec
+        self.metrics = NULL_REGISTRY if registry is None else registry
 
     @property
     def latest(self) -> Snapshot:
@@ -96,6 +104,7 @@ class SnapshotPublisher:
         manifest re-sliced from the compacted base index; otherwise the
         plain v2 archive.
         """
+        t0 = perf_counter()
         if self.engine.dynamic.n_pending_columns:
             self.engine.rebuild()
         if self.shard_spec is not None:
@@ -103,8 +112,21 @@ class SnapshotPublisher:
             sharded = ShardedIndex.from_index(
                 self.engine.index, n_shards, partitioner=partitioner, seed=seed
             )
-            return self.store.publish(sharded)
-        return self.store.publish(self.engine.dynamic)
+            snapshot = self.store.publish(sharded)
+        else:
+            snapshot = self.store.publish(self.engine.dynamic)
+        if self.metrics.enabled:
+            self.metrics.histogram(
+                "repro_publish_seconds",
+                help="compaction-plus-write seconds per published snapshot",
+            ).observe(perf_counter() - t0)
+            self.metrics.counter(
+                "repro_snapshots_published_total", help="snapshots published"
+            ).inc()
+            self.metrics.gauge(
+                "repro_publisher_epoch", help="latest published snapshot epoch"
+            ).set(snapshot.epoch)
+        return snapshot
 
     def apply_and_publish(
         self,
@@ -119,4 +141,9 @@ class SnapshotPublisher:
         applied update, because :meth:`publish` compacts first.
         """
         report = self.engine.apply_updates(inserts, deletes)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_updates_applied_total",
+                help="edge updates applied through the publisher",
+            ).inc(report.n_inserted + report.n_deleted)
         return report, self.publish()

@@ -29,8 +29,21 @@ direction    message                                        reply
 to worker    ``("batch", batch_id, [(query, k), ...])``     ``("results", wid, batch_id, [TopKResult, ...])``
 to worker    ``("swap", epoch, path)``                      ``("swapped", wid, epoch)``
 to worker    ``("stats",)``                                 ``("stats", wid, stats_dict)``
+to worker    ``("metrics",)``                               ``("metrics", wid, registry_snapshot)``
 to worker    ``("stop",)``                                  ``("stopped", wid, stats_dict)``
 ===========  =============================================  ===========
+
+Tracing rides the same envelopes: a ``batch`` message may carry a
+fourth element — one trace context (or ``None``) per request — and the
+worker then answers ``("results", wid, batch_id, results, spans)``
+where ``spans`` are finished :func:`~repro.obs.tracing.remote_span`
+records (``worker.batch`` plus a ``kernel.scan`` leaf carrying the
+batch's scan counters and kernel-backend name).  Untraced batches use
+the original 3/4-element shapes, so tracing-off serving is wire-
+identical to PR 3.  ``metrics`` returns the worker engine's
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; per-worker latency
+histograms share bucket bounds, so the pool folds them with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`.
 
 A worker that hits an unexpected exception reports
 ``("error", wid, message)`` and exits; the pool surfaces it as a
@@ -39,13 +52,17 @@ A worker that hits an unexpected exception reports
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import queue as queue_module
 import time
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.index_io import load_index
 from ..exceptions import InvalidParameterError, ServingError
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import remote_span
 from ..query.engine import QueryEngine
 from .snapshot import Snapshot
 
@@ -61,16 +78,70 @@ def _serve_batch(engine: QueryEngine, requests: Sequence[Tuple[int, int]]):
     :meth:`~repro.query.engine.QueryEngine.top_k_many` call (shared
     workspace + within-batch dedup); answers are identical to per-query
     ``top_k`` calls, so grouping is purely an execution detail.
+
+    Returns ``(results, group_stats)`` — one
+    :class:`~repro.query.stats.QueryStats` per executed group, which is
+    what the trace leaf span sums its scan counters from.
     """
     by_k: Dict[int, List[int]] = {}
     for i, (_, k) in enumerate(requests):
         by_k.setdefault(int(k), []).append(i)
     results: List = [None] * len(requests)
+    group_stats: List = []
     for k, idxs in by_k.items():
         answers = engine.top_k_many([requests[i][0] for i in idxs], k)
         for i, answer in zip(idxs, answers):
             results[i] = answer
-    return results
+        group_stats.append(engine.last_stats)
+    return results, group_stats
+
+
+def _batch_spans(
+    engine: QueryEngine,
+    n_requests: int,
+    ctxs,
+    group_stats,
+    seconds: float,
+    span_ids,
+) -> List[dict]:
+    """The worker half of one traced batch's span tree.
+
+    One ``worker.batch`` span parented to the (first) propagated trace
+    context, with a ``kernel.scan`` leaf carrying the batch's summed
+    :class:`~repro.query.stats.QueryStats` counters and the resolved
+    kernel-backend name — the numbers the acceptance test matches
+    bit-for-bit against a single-process engine serving the same
+    stream.
+    """
+    ctx = next(c for c in ctxs if c is not None)
+    batch_id_local = next(span_ids)
+    scan_id_local = next(span_ids)
+    return [
+        remote_span(
+            ctx,
+            batch_id_local,
+            "worker.batch",
+            seconds,
+            tags={"batch_size": n_requests},
+        ),
+        remote_span(
+            ctx,
+            scan_id_local,
+            "kernel.scan",
+            sum(s.seconds for s in group_stats),
+            tags={
+                "backend": engine.index._prepared.backend,
+                "n_queries": sum(s.n_queries for s in group_stats),
+                "cache_hits": sum(s.cache_hits for s in group_stats),
+                "dedup_hits": sum(s.dedup_hits for s in group_stats),
+                "executed": sum(s.executed for s in group_stats),
+                "n_visited": sum(s.n_visited for s in group_stats),
+                "n_computed": sum(s.n_computed for s in group_stats),
+                "n_pruned": sum(s.n_pruned for s in group_stats),
+            },
+            parent_id=batch_id_local,
+        ),
+    ]
 
 
 def worker_main(
@@ -83,18 +154,37 @@ def worker_main(
 ) -> None:
     """Entry point of one replica process (module-level for spawn support)."""
     try:
-        engine = QueryEngine(load_index(snapshot_path), cache_size=cache_size)
+        engine = QueryEngine(
+            load_index(snapshot_path),
+            cache_size=cache_size,
+            registry=MetricsRegistry(),
+        )
         engine.snapshot_epoch = int(snapshot_epoch)
         engine.stats.snapshot_epoch = engine.snapshot_epoch
+        span_ids = itertools.count(1)  # process-lifetime span ordinals
         result_q.put(("ready", worker_id, int(snapshot_epoch)))
         while True:
             message = request_q.get()
             kind = message[0]
             if kind == "batch":
-                _, batch_id, requests = message
-                result_q.put(
-                    ("results", worker_id, batch_id, _serve_batch(engine, requests))
-                )
+                batch_id, requests = message[1], message[2]
+                ctxs = message[3] if len(message) > 3 else None
+                t0 = perf_counter()
+                results, group_stats = _serve_batch(engine, requests)
+                if ctxs is not None and any(c is not None for c in ctxs):
+                    spans = _batch_spans(
+                        engine,
+                        len(requests),
+                        ctxs,
+                        group_stats,
+                        perf_counter() - t0,
+                        span_ids,
+                    )
+                    result_q.put(
+                        ("results", worker_id, batch_id, results, spans)
+                    )
+                else:
+                    result_q.put(("results", worker_id, batch_id, results))
             elif kind == "swap":
                 _, epoch, path = message
                 # Only move forward: a stale broadcast (scheduler retry,
@@ -104,6 +194,8 @@ def worker_main(
                 result_q.put(("swapped", worker_id, int(epoch)))
             elif kind == "stats":
                 result_q.put(("stats", worker_id, engine.stats.as_dict()))
+            elif kind == "metrics":
+                result_q.put(("metrics", worker_id, engine.metrics.snapshot()))
             elif kind == "stop":
                 result_q.put(("stopped", worker_id, engine.stats.as_dict()))
                 break
@@ -218,9 +310,17 @@ class ReplicaPool:
             raise ServingError("pool is closed")
         self._request_qs[worker_id].put(message)
 
-    def submit(self, worker_id: int, batch_id: int, requests) -> None:
-        """Dispatch one micro-batch of ``(query, k)`` requests to a worker."""
-        self.send(worker_id, ("batch", batch_id, list(requests)))
+    def submit(self, worker_id: int, batch_id: int, requests, ctxs=None) -> None:
+        """Dispatch one micro-batch of ``(query, k)`` requests to a worker.
+
+        ``ctxs`` (one trace context or ``None`` per request) extends the
+        envelope only when at least one request is traced — an untraced
+        stream stays wire-identical to the pre-telemetry protocol.
+        """
+        if ctxs is None:
+            self.send(worker_id, ("batch", batch_id, list(requests)))
+        else:
+            self.send(worker_id, ("batch", batch_id, list(requests), list(ctxs)))
 
     def broadcast_swap(self, snapshot: Snapshot) -> None:
         """Tell every worker to adopt ``snapshot`` (no barrier — the
@@ -260,6 +360,28 @@ class ReplicaPool:
             stats[message[1]] = message[2]
             needed -= 1
         return stats  # type: ignore[return-value]
+
+    def collect_metrics(self) -> MetricsRegistry:
+        """One registry folding every worker's metrics snapshot.
+
+        Counters add, per-worker latency histograms merge bucket-wise
+        (same bounds by construction) — so pool-level p50/p95/p99 come
+        out of the merged histograms directly.  Same no-outstanding-
+        batches caveat as :meth:`collect_stats`.
+        """
+        for worker_id in range(self.n_workers):
+            self.send(worker_id, ("metrics",))
+        merged = MetricsRegistry()
+        needed = self.n_workers
+        while needed:
+            message = self.recv()
+            if message[0] != "metrics":
+                raise ServingError(
+                    f"unexpected reply while collecting metrics: {message!r}"
+                )
+            merged.merge(MetricsRegistry.from_snapshot(message[2]))
+            needed -= 1
+        return merged
 
     # ------------------------------------------------------------------
     def close(self) -> List[dict]:

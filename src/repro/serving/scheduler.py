@@ -32,10 +32,13 @@ a single engine applying the same updates at the same stream positions
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.topk import TopKResult
 from ..exceptions import InvalidParameterError, ServingError
+from ..obs.metrics import NULL_REGISTRY
+from ..obs.tracing import NULL_TRACER
 from ..validation import check_positive_int
 from .replica import ReplicaPool
 from .router import Router, make_router
@@ -56,17 +59,35 @@ class MicroBatchScheduler:
         Flush threshold per worker buffer.  1 degenerates to
         request-per-message (useful as the IPC-overhead baseline in the
         scale-out benchmark).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: per-request
+        submit→result latency histogram (``repro_request_seconds``,
+        the p50/p95/p99 source of the loadgen envelope) plus dispatch
+        counters.  ``None`` = telemetry off.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`: sampled requests
+        get a ``scheduler.query`` root span with a ``scheduler.route``
+        child; the trace context rides the batch envelope to the worker,
+        whose ``worker.batch``/``kernel.scan`` spans are absorbed from
+        the reply.  ``None`` = tracing off (wire-identical envelopes).
     """
+
+    #: Label of this scheduler's request-latency histogram series.
+    _TIER = "replica"
 
     def __init__(
         self,
         pool: ReplicaPool,
         router="rr",
         batch_size: int = 32,
+        registry=None,
+        tracer=None,
     ) -> None:
         self.pool = pool
         self.router: Router = make_router(router)
         self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.metrics = NULL_REGISTRY if registry is None else registry
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._buffers: List[List[Tuple[int, int, int]]] = [
             [] for _ in range(pool.n_workers)
         ]
@@ -76,6 +97,14 @@ class MicroBatchScheduler:
         self._next_batch = 0
         #: Queries routed to each worker (router-balance observability).
         self.routed_counts = [0] * pool.n_workers
+        # Telemetry side tables: submit timestamps and open root spans.
+        self._submit_times: Dict[int, float] = {}
+        self._spans: Dict[int, object] = {}
+        self.latency = self.metrics.histogram(
+            "repro_request_seconds",
+            help="submit-to-result seconds per request",
+            labels={"tier": self._TIER},
+        )
 
     # ------------------------------------------------------------------
     # Submission
@@ -90,6 +119,17 @@ class MicroBatchScheduler:
         self._next_seq += 1
         worker_id = self.router.route(int(query), self.pool.n_workers)
         self.routed_counts[worker_id] += 1
+        if self.metrics.enabled:
+            self._submit_times[seq] = perf_counter()
+        if self.tracer.enabled and self.tracer.sample():
+            root = self.tracer.start(
+                "scheduler.query", tags={"seq": seq, "query": int(query), "k": int(k)}
+            )
+            route = self.tracer.start(
+                "scheduler.route", parent=root, tags={"worker": worker_id}
+            )
+            self.tracer.finish(route)
+            self._spans[seq] = root
         buffer = self._buffers[worker_id]
         buffer.append((seq, int(query), int(k)))
         if len(buffer) >= self.batch_size:
@@ -103,7 +143,26 @@ class MicroBatchScheduler:
         batch_id = self._next_batch
         self._next_batch += 1
         self._pending[batch_id] = [seq for seq, _, _ in buffer]
-        self.pool.submit(worker_id, batch_id, [(q, k) for _, q, k in buffer])
+        ctxs = None
+        if self._spans:
+            traced = [
+                self._spans[seq].context() if seq in self._spans else None
+                for seq, _, _ in buffer
+            ]
+            if any(c is not None for c in traced):
+                ctxs = traced
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_scheduler_batches_total", help="micro-batches dispatched"
+            ).inc()
+            self.metrics.histogram(
+                "repro_scheduler_batch_fill",
+                help="requests per dispatched micro-batch",
+                bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+            ).observe(len(buffer))
+        self.pool.submit(
+            worker_id, batch_id, [(q, k) for _, q, k in buffer], ctxs=ctxs
+        )
         self._buffers[worker_id] = []
 
     def flush(self) -> None:
@@ -125,15 +184,24 @@ class MicroBatchScheduler:
             raise ServingError(
                 f"unexpected reply while awaiting batch results: {message!r}"
             )
-        _, _, batch_id, results = message
+        worker_id, batch_id, results = message[1], message[2], message[3]
         seqs = self._pending.pop(batch_id)
         if len(seqs) != len(results):
             raise ServingError(
                 f"batch {batch_id}: {len(seqs)} requests but "
                 f"{len(results)} results"
             )
+        if len(message) > 4:
+            self.tracer.absorb(message[4], namespace=worker_id)
+        now = perf_counter() if self._submit_times else 0.0
         for seq, result in zip(seqs, results):
             self._results[seq] = result
+            t_submit = self._submit_times.pop(seq, None)
+            if t_submit is not None:
+                self.latency.observe(now - t_submit)
+            span = self._spans.pop(seq, None)
+            if span is not None:
+                self.tracer.finish(span, tags={"worker": worker_id})
 
     def drain(self) -> None:
         """Flush, then block until every dispatched batch has reported."""

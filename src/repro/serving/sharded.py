@@ -37,12 +37,22 @@ to worker    ``("home", batch_id, [(query, k), ...])``             ``("partial",
 to worker    ``("remote", batch_id, [(query, k, floor), ...])``    ``("candidates", wid, batch_id, [(items, checked, computed), ...])``
 to worker    ``("swap", epoch, manifest_path)``                    ``("swapped", wid, epoch)``
 to worker    ``("stats",)``                                        ``("stats", wid, stats_dict)``
+to worker    ``("metrics",)``                                      ``("metrics", wid, registry_snapshot)``
 to worker    ``("stop",)``                                         ``("stopped", wid, stats_dict)``
 ===========  ====================================================  ===========
+
+As in the replica protocol, ``home``/``remote`` envelopes may carry a
+trailing per-request trace-context list; the worker then appends
+finished span records (``worker.home``/``worker.remote`` with a
+``kernel.scan`` leaf holding the shard id, scan counters and backend
+name) as a fifth reply element.  ``metrics`` returns the worker's
+per-phase scan-latency registry snapshot for pool-level merging.
 """
 
 from __future__ import annotations
 
+import itertools
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +61,8 @@ from ..core.index_io import load_sharded_index
 from ..core.sharded import canonical_heap, heap_items, merge_candidates, scan_shard
 from ..core.topk import TopKResult
 from ..exceptions import InvalidParameterError, ServingError
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.tracing import NULL_TRACER, remote_span
 from ..query.kernel import ScanResult, scan_to_topk
 from ..validation import check_k, check_node_id, check_positive_int
 from .replica import ReplicaPool
@@ -116,6 +128,47 @@ def shard_worker_main(
         "snapshot_swaps": 0,
     }
     try:
+        from ..query.backends import resolve_backend_name
+
+        backend_name = resolve_backend_name()
+        registry = MetricsRegistry()
+        scan_hist = {
+            phase: registry.histogram(
+                "repro_worker_scan_seconds",
+                help="per-request shard-scan seconds",
+                labels={"phase": phase},
+            )
+            for phase in ("home", "remote")
+        }
+        span_ids = itertools.count(1)  # process-lifetime span ordinals
+
+        def scan_spans(phase, ctx, shard_seconds, checked, computed):
+            """worker.<phase> span + kernel.scan leaf for one traced scan."""
+            phase_id = next(span_ids)
+            leaf_id = next(span_ids)
+            return [
+                remote_span(
+                    ctx,
+                    phase_id,
+                    f"worker.{phase}",
+                    shard_seconds,
+                    tags={"shard": worker_id},
+                ),
+                remote_span(
+                    ctx,
+                    leaf_id,
+                    "kernel.scan",
+                    shard_seconds,
+                    tags={
+                        "backend": backend_name,
+                        "shard": worker_id,
+                        "n_visited": checked,
+                        "n_computed": computed,
+                    },
+                    parent_id=phase_id,
+                ),
+            ]
+
         sharded = load_sharded_index(manifest_path, only=[worker_id])
         y = sharded.workspace()
         result_q.put(("ready", worker_id, int(snapshot_epoch)))
@@ -123,29 +176,53 @@ def shard_worker_main(
             message = request_q.get()
             kind = message[0]
             if kind == "home":
-                _, batch_id, requests = message
+                batch_id, requests = message[1], message[2]
+                ctxs = message[3] if len(message) > 3 else None
                 replies = []
-                for query, k in requests:
+                spans: List[dict] = []
+                for i, (query, k) in enumerate(requests):
+                    t0 = perf_counter()
                     items, bounds, checked, computed = _plan_home(
                         sharded, worker_id, y, int(query), int(k)
                     )
+                    seconds = perf_counter() - t0
                     stats["home_queries"] += 1
                     stats["nodes_checked"] += checked
                     stats["nodes_computed"] += computed
+                    scan_hist["home"].observe(seconds)
+                    if ctxs is not None and ctxs[i] is not None:
+                        spans.extend(
+                            scan_spans("home", ctxs[i], seconds, checked, computed)
+                        )
                     replies.append((items, bounds, checked, computed))
-                result_q.put(("partial", worker_id, batch_id, replies))
+                if spans:
+                    result_q.put(("partial", worker_id, batch_id, replies, spans))
+                else:
+                    result_q.put(("partial", worker_id, batch_id, replies))
             elif kind == "remote":
-                _, batch_id, requests = message
+                batch_id, requests = message[1], message[2]
+                ctxs = message[3] if len(message) > 3 else None
                 replies = []
-                for query, k, floor in requests:
+                spans = []
+                for i, (query, k, floor) in enumerate(requests):
+                    t0 = perf_counter()
                     items, checked, computed = _plan_remote(
                         sharded, worker_id, y, int(query), int(k), float(floor)
                     )
+                    seconds = perf_counter() - t0
                     stats["remote_queries"] += 1
                     stats["nodes_checked"] += checked
                     stats["nodes_computed"] += computed
+                    scan_hist["remote"].observe(seconds)
+                    if ctxs is not None and ctxs[i] is not None:
+                        spans.extend(
+                            scan_spans("remote", ctxs[i], seconds, checked, computed)
+                        )
                     replies.append((items, checked, computed))
-                result_q.put(("candidates", worker_id, batch_id, replies))
+                if spans:
+                    result_q.put(("candidates", worker_id, batch_id, replies, spans))
+                else:
+                    result_q.put(("candidates", worker_id, batch_id, replies))
             elif kind == "swap":
                 _, epoch, path = message
                 if epoch > stats["snapshot_epoch"]:
@@ -156,6 +233,8 @@ def shard_worker_main(
                 result_q.put(("swapped", worker_id, int(epoch)))
             elif kind == "stats":
                 result_q.put(("stats", worker_id, dict(stats)))
+            elif kind == "metrics":
+                result_q.put(("metrics", worker_id, registry.snapshot()))
             elif kind == "stop":
                 result_q.put(("stopped", worker_id, dict(stats)))
                 break
@@ -244,13 +323,24 @@ class ShardPool(ReplicaPool):
         """The worker owning ``query``'s home shard."""
         return int(self.assignment[query])
 
-    def submit_home(self, worker_id: int, batch_id: int, requests) -> None:
-        """Dispatch one home-phase micro-batch of ``(query, k)`` pairs."""
-        self.send(worker_id, ("home", batch_id, list(requests)))
+    def submit_home(self, worker_id: int, batch_id: int, requests, ctxs=None) -> None:
+        """Dispatch one home-phase micro-batch of ``(query, k)`` pairs.
 
-    def submit_remote(self, worker_id: int, batch_id: int, requests) -> None:
+        ``ctxs`` optionally carries one trace context (or ``None``) per
+        request; untraced batches stay wire-identical to the base
+        protocol.
+        """
+        if ctxs is None:
+            self.send(worker_id, ("home", batch_id, list(requests)))
+        else:
+            self.send(worker_id, ("home", batch_id, list(requests), list(ctxs)))
+
+    def submit_remote(self, worker_id: int, batch_id: int, requests, ctxs=None) -> None:
         """Dispatch one remote-phase micro-batch of ``(query, k, floor)``."""
-        self.send(worker_id, ("remote", batch_id, list(requests)))
+        if ctxs is None:
+            self.send(worker_id, ("remote", batch_id, list(requests)))
+        else:
+            self.send(worker_id, ("remote", batch_id, list(requests), list(ctxs)))
 
     def broadcast_swap(self, snapshot: Snapshot) -> None:
         """Adopt a new sharded snapshot: workers reload their shard, the
@@ -336,11 +426,41 @@ class ShardedScheduler:
     batch_size:
         Flush threshold of both the home-phase and remote-phase per-
         worker buffers.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`: submit-to-
+        finalise latency histogram (``repro_request_seconds`` with
+        ``tier="sharded"``) plus plan counters.  ``None`` = telemetry
+        off.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`: sampled requests
+        get a ``scheduler.query`` root span with one ``scheduler.route``
+        child per phase dispatch; worker-side ``worker.home`` /
+        ``worker.remote`` / ``kernel.scan`` spans are absorbed from the
+        replies.  ``None`` = tracing off (wire-identical envelopes).
     """
 
-    def __init__(self, pool: ShardPool, batch_size: int = 32) -> None:
+    #: Label of this scheduler's request-latency histogram series.
+    _TIER = "sharded"
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        batch_size: int = 32,
+        registry=None,
+        tracer=None,
+    ) -> None:
         self.pool = pool
         self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.metrics = NULL_REGISTRY if registry is None else registry
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        # Telemetry side tables: submit timestamps and open root spans.
+        self._submit_times: Dict[int, float] = {}
+        self._spans: Dict[int, object] = {}
+        self.latency = self.metrics.histogram(
+            "repro_request_seconds",
+            help="submit-to-result seconds per request",
+            labels={"tier": self._TIER},
+        )
         self._home_buffers: List[List[Tuple[int, int, int]]] = [
             [] for _ in range(pool.n_workers)
         ]
@@ -374,11 +494,46 @@ class ShardedScheduler:
         worker_id = self.pool.home_worker(query)
         self.routed_counts[worker_id] += 1
         self._inflight[seq] = (query, k)
+        if self.metrics.enabled:
+            self._submit_times[seq] = perf_counter()
+        if self.tracer.enabled and self.tracer.sample():
+            root = self.tracer.start(
+                "scheduler.query", tags={"seq": seq, "query": query, "k": k}
+            )
+            self._spans[seq] = root
         buffer = self._home_buffers[worker_id]
         buffer.append((seq, query, k))
         if len(buffer) >= self.batch_size:
             self._dispatch_home(worker_id)
         return seq
+
+    def _route_span(self, seq: int, phase: str, worker_id: int) -> None:
+        """Record one finished scheduler.route child for a traced seq."""
+        root = self._spans.get(seq)
+        if root is None:
+            return
+        route = self.tracer.start(
+            "scheduler.route",
+            parent=root,
+            tags={"phase": phase, "worker": worker_id},
+        )
+        self.tracer.finish(route)
+
+    def _ctxs_for(self, seqs: List[int], phase: str, worker_id: int):
+        """Trace contexts for a dispatch (None when nothing is traced)."""
+        if not self._spans:
+            return None
+        traced = []
+        any_traced = False
+        for seq in seqs:
+            span = self._spans.get(seq)
+            if span is None:
+                traced.append(None)
+            else:
+                self._route_span(seq, phase, worker_id)
+                traced.append(span.context())
+                any_traced = True
+        return traced if any_traced else None
 
     def _dispatch_home(self, worker_id: int) -> None:
         buffer = self._home_buffers[worker_id]
@@ -386,8 +541,18 @@ class ShardedScheduler:
             return
         batch_id = self._next_batch
         self._next_batch += 1
-        self._pending[batch_id] = ("home", [seq for seq, _, _ in buffer])
-        self.pool.submit_home(worker_id, batch_id, [(q, k) for _, q, k in buffer])
+        seqs = [seq for seq, _, _ in buffer]
+        self._pending[batch_id] = ("home", seqs)
+        ctxs = self._ctxs_for(seqs, "home", worker_id)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_scheduler_batches_total",
+                help="micro-batches dispatched",
+                labels={"phase": "home"},
+            ).inc()
+        self.pool.submit_home(
+            worker_id, batch_id, [(q, k) for _, q, k in buffer], ctxs=ctxs
+        )
         self._home_buffers[worker_id] = []
 
     def _dispatch_remote(self, worker_id: int) -> None:
@@ -396,9 +561,17 @@ class ShardedScheduler:
             return
         batch_id = self._next_batch
         self._next_batch += 1
-        self._pending[batch_id] = ("remote", [seq for seq, _, _, _ in buffer])
+        seqs = [seq for seq, _, _, _ in buffer]
+        self._pending[batch_id] = ("remote", seqs)
+        ctxs = self._ctxs_for(seqs, "remote", worker_id)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_scheduler_batches_total",
+                help="micro-batches dispatched",
+                labels={"phase": "remote"},
+            ).inc()
         self.pool.submit_remote(
-            worker_id, batch_id, [(q, k, f) for _, q, k, f in buffer]
+            worker_id, batch_id, [(q, k, f) for _, q, k, f in buffer], ctxs=ctxs
         )
         self._remote_buffers[worker_id] = []
 
@@ -442,6 +615,32 @@ class ShardedScheduler:
         self.queries_done += 1
         self.shards_visited += gather.visited
         self.shards_skipped += gather.skipped
+        t_submit = self._submit_times.pop(seq, None)
+        if t_submit is not None:
+            self.latency.observe(perf_counter() - t_submit)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_sharded_queries_total", help="queries finalised"
+            ).inc()
+            self.metrics.counter(
+                "repro_sharded_shards_visited_total", help="shards scanned"
+            ).inc(gather.visited)
+            self.metrics.counter(
+                "repro_sharded_shards_skipped_total",
+                help="shards skipped by the cross-shard bound",
+            ).inc(gather.skipped)
+        span = self._spans.pop(seq, None)
+        if span is not None:
+            self.tracer.finish(
+                span,
+                tags={
+                    "n_visited": gather.checked,
+                    "n_computed": gather.computed,
+                    "n_pruned": n - gather.computed,
+                    "shards_visited": gather.visited,
+                    "shards_skipped": gather.skipped,
+                },
+            )
 
     def _absorb(self, message: tuple) -> None:
         kind = message[0]
@@ -449,7 +648,9 @@ class ShardedScheduler:
             raise ServingError(
                 f"unexpected reply while awaiting plan phases: {message!r}"
             )
-        _, _, batch_id, replies = message
+        worker_id, batch_id, replies = message[1], message[2], message[3]
+        if len(message) > 4:
+            self.tracer.absorb(message[4], namespace=worker_id)
         phase, seqs = self._pending.pop(batch_id)
         if len(seqs) != len(replies):
             raise ServingError(

@@ -1,0 +1,277 @@
+"""The metrics registry: quantile math, merging, export round-trips.
+
+The histogram is the load-bearing piece — pool-level p50/p95/p99 come
+from per-worker histograms merged bucket-wise, so the quantile
+estimator and the merge must agree with first principles: boundary
+samples land in the bucket whose upper edge they equal, empty and
+one-sample histograms report exactly, and estimates never leave the
+observed [min, max] range.  Exporters must round-trip byte-stably —
+CI diffs metric artifacts, so ``snapshot → from_snapshot → snapshot``
+and two successive JSON dumps must be identical bytes.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    read_metrics_json,
+    registry_from_file,
+    to_prometheus,
+    write_metrics_json,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(InvalidParameterError):
+            Counter("requests_total").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        assert h.quantile(0.5) == 0.0
+        env = h.percentiles()
+        assert env["count"] == 0 and env["p99"] == 0.0
+        assert env["min"] == 0.0 and env["max"] == 0.0
+
+    def test_one_sample_reports_that_sample_for_every_q(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        h.observe(1.7)
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 1.7
+
+    def test_boundary_sample_lands_in_its_bucket(self):
+        # Upper edges are inclusive: a sample equal to a bound counts in
+        # the bucket that bound closes, not the next one.
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        h.observe(2.0)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_overflow_bucket_catches_samples_above_every_bound(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        h.observe(99.0)
+        assert h.counts == [0, 0, 1]
+        assert h.quantile(1.0) == 99.0  # clamped to observed max
+
+    def test_quantiles_on_uniform_samples_are_accurate(self):
+        h = Histogram("lat")  # default log-spaced latency ladder
+        samples = [i / 10_000.0 for i in range(1, 501)]  # 0.1ms .. 50ms
+        for s in samples:
+            h.observe(s)
+        for q in (0.5, 0.95, 0.99):
+            exact = samples[round(q * (len(samples) - 1))]
+            estimate = h.quantile(q)
+            # One log-spaced bucket spans ~78% relative error worst-case;
+            # interpolation lands much closer on smooth data.
+            assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_estimates_never_leave_observed_range(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        h.observe(3.0)
+        h.observe(4.0)
+        for q in (0.0, 0.3, 0.7, 1.0):
+            assert 3.0 <= h.quantile(q) <= 4.0
+
+    def test_quantile_rejects_out_of_range_q(self):
+        h = Histogram("lat", bounds=(1.0,))
+        with pytest.raises(InvalidParameterError):
+            h.quantile(1.5)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("lat", bounds=(2.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            Histogram("lat", bounds=(1.0, 1.0))
+
+
+class TestHistogramMerge:
+    def test_merge_equals_single_histogram_of_all_samples(self):
+        # The per-worker fold: two workers' histograms merged must report
+        # exactly what one histogram fed every sample would.
+        bounds = (0.001, 0.01, 0.1, 1.0)
+        a, b, ref = (Histogram("lat", bounds=bounds) for _ in range(3))
+        samples_a = [0.0005, 0.004, 0.02, 0.5]
+        samples_b = [0.003, 0.003, 2.0]
+        for s in samples_a:
+            a.observe(s)
+            ref.observe(s)
+        for s in samples_b:
+            b.observe(s)
+            ref.observe(s)
+        a.merge(b)
+        assert a.counts == ref.counts
+        assert a.count == ref.count
+        assert a.sum == ref.sum
+        assert (a.min, a.max) == (ref.min, ref.max)
+        assert a.percentiles() == ref.percentiles()
+
+    def test_merge_with_empty_histogram_is_identity(self):
+        a = Histogram("lat", bounds=(1.0, 2.0))
+        a.observe(1.5)
+        before = a.percentiles()
+        a.merge(Histogram("lat", bounds=(1.0, 2.0)))
+        assert a.percentiles() == before
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("a", bounds=(1.0, 2.0))
+        b = Histogram("b", bounds=(1.0, 3.0))
+        with pytest.raises(InvalidParameterError):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_labelled_instruments_are_distinct_and_stable(self):
+        reg = MetricsRegistry()
+        a = reg.counter("calls_total", labels={"mode": "top_k"})
+        b = reg.counter("calls_total", labels={"mode": "batch"})
+        assert a is not b
+        # Label order must not matter for identity.
+        assert reg.counter("x", labels={"a": "1", "b": "2"}) is reg.counter(
+            "x", labels={"b": "2", "a": "1"}
+        )
+        a.inc()
+        assert reg.counter("calls_total", labels={"mode": "top_k"}).value == 1
+
+    def test_snapshot_round_trip_is_byte_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("queries_total").inc(7)
+        reg.gauge("epoch", labels={"tier": "replica"}).set(3)
+        h = reg.histogram("lat_seconds", labels={"mode": "top_k"})
+        for s in (0.001, 0.02, 5.0):
+            h.observe(s)
+        snap = reg.snapshot()
+        rebuilt = MetricsRegistry.from_snapshot(snap)
+        assert json.dumps(rebuilt.snapshot(), sort_keys=True) == json.dumps(
+            snap, sort_keys=True
+        )
+
+    def test_registry_merge_folds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        b.counter("only_b").inc(1)
+        a.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+        b.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        b.gauge("epoch").set(4)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.counter("only_b").value == 1
+        assert a.histogram("lat", bounds=(1.0, 2.0)).count == 2
+        assert a.gauge("epoch").value == 4
+
+    def test_merge_round_tripped_worker_snapshots(self):
+        # The exact pool fold: workers ship snapshot() dicts, the gather
+        # side rebuilds and merges them.  Percentiles of the merge must
+        # match one histogram over all samples.
+        ref = Histogram("repro_worker_scan_seconds")
+        merged = MetricsRegistry()
+        for worker_samples in ([0.001, 0.004], [0.002, 0.1, 0.05]):
+            worker = MetricsRegistry()
+            h = worker.histogram("repro_worker_scan_seconds")
+            for s in worker_samples:
+                h.observe(s)
+                ref.observe(s)
+            merged.merge(MetricsRegistry.from_snapshot(worker.snapshot()))
+        got = merged.histogram("repro_worker_scan_seconds")
+        assert got.percentiles() == ref.percentiles()
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert NULL_REGISTRY.enabled is False
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        NULL_REGISTRY.counter("x").inc()
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert NULL_REGISTRY.counters() == []
+
+
+class TestPrometheusExport:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_queries_total", help="queries", labels={"mode": "top_k"}
+        ).inc(3)
+        reg.gauge("repro_epoch").set(2)
+        h = reg.histogram("repro_lat_seconds", bounds=(0.001, 0.01))
+        h.observe(0.0005)
+        h.observe(0.5)
+        return reg
+
+    def test_labels_are_quoted(self):
+        text = to_prometheus(self.make_registry())
+        assert 'repro_queries_total{mode="top_k"} 3' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = to_prometheus(self.make_registry())
+        lines = text.splitlines()
+        assert 'repro_lat_seconds_bucket{le="0.001"} 1' in lines
+        assert 'repro_lat_seconds_bucket{le="0.01"} 1' in lines
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in lines
+        assert "repro_lat_seconds_count 2" in lines
+        assert any(line.startswith("repro_lat_seconds_sum ") for line in lines)
+
+    def test_type_and_help_headers(self):
+        text = to_prometheus(self.make_registry())
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# HELP repro_queries_total queries" in text
+        assert "# TYPE repro_epoch gauge" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_infinite_gauge_renders_inf_token(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        assert "g +Inf" in to_prometheus(reg)
+
+
+class TestJsonArtifacts:
+    def test_write_read_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(5)
+        reg.histogram("lat").observe(0.25)
+        path = str(tmp_path / "metrics.json")
+        write_metrics_json(reg, path, extra={"run": "smoke"})
+        payload = read_metrics_json(path)
+        assert payload["run"] == "smoke"
+        rebuilt = registry_from_file(path)
+        assert rebuilt.snapshot() == reg.snapshot()
+
+    def test_dumps_are_byte_stable(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        p1, p2 = str(tmp_path / "m1.json"), str(tmp_path / "m2.json")
+        write_metrics_json(reg, p1)
+        write_metrics_json(reg, p2)
+        assert open(p1, "rb").read() == open(p2, "rb").read()

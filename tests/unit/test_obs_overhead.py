@@ -1,0 +1,93 @@
+"""The observability overhead budget: instrumented within 5% of bare.
+
+The contract that makes always-on telemetry defensible: a
+:class:`QueryEngine` holding a live :class:`MetricsRegistry` must serve
+queries at no worse than 1.05× the uninstrumented engine's best time.
+The engine keeps this cheap by caching instrument handles per call
+mode, so the per-query cost is a handful of float adds — this test is
+the regression tripwire for anyone adding per-call registry lookups
+back into the hot path.
+
+Methodology: min-of-N over interleaved repetitions.  Wall-clock noise
+is strictly additive, so the minimum of several runs is the best
+estimator of true cost, and interleaving base/instrumented reps keeps
+slow machine phases (GC, turbo transitions) from loading one side.
+On noisy shared machines a fixed rep count still flakes, so rounds of
+reps accumulate into the running minima until the budget is met or the
+round cap runs out — a genuine systematic slowdown can never tighten
+its minimum under the budget, while scheduler noise washes out.
+"""
+
+from time import perf_counter
+
+from repro.core import KDash
+from repro.graph import erdos_renyi_graph
+from repro.obs import MetricsRegistry
+from repro.query import QueryEngine
+
+REPS_PER_ROUND = 10
+MAX_ROUNDS = 10
+BUDGET = 1.05
+# Short reps (~10ms) maximise the chance that both engines catch quiet
+# scheduler windows for their minima on busy shared machines.
+N_QUERIES = 100
+
+
+def build_engines():
+    graph = erdos_renyi_graph(120, 0.06, seed=7)
+    index = KDash(graph, c=0.9).build()
+    # cache_size=0: every query executes a real scan, so the per-call
+    # _observe path runs on every iteration (a cache hit would skip the
+    # scan but still record — either way the instrumented branch runs,
+    # but uncached is the heavier, more realistic serving shape).
+    bare = QueryEngine(index, cache_size=0)
+    instrumented = QueryEngine(index, cache_size=0, registry=MetricsRegistry())
+    return bare, instrumented
+
+
+def run_once(engine, queries):
+    t0 = perf_counter()
+    for q in queries:
+        engine.top_k(q, 8)
+    return perf_counter() - t0
+
+
+def test_instrumented_engine_within_five_percent():
+    bare, instrumented = build_engines()
+    n = 120
+    queries = [(i * 17) % n for i in range(N_QUERIES)]
+    # Warm both engines (allocates workspaces, builds metric handles).
+    for engine in (bare, instrumented):
+        run_once(engine, queries[:20])
+
+    bare_best = instrumented_best = float("inf")
+    for _ in range(MAX_ROUNDS):
+        for _ in range(REPS_PER_ROUND):
+            bare_best = min(bare_best, run_once(bare, queries))
+            instrumented_best = min(
+                instrumented_best, run_once(instrumented, queries)
+            )
+        if instrumented_best <= bare_best * BUDGET:
+            break
+    # Guard against a degenerate too-fast workload where timer
+    # granularity would dominate the ratio.
+    assert bare_best > 1e-4, "workload too small to measure overhead"
+    assert instrumented_best <= bare_best * BUDGET, (
+        f"instrumented {instrumented_best * 1e3:.2f}ms vs "
+        f"bare {bare_best * 1e3:.2f}ms exceeds the {BUDGET:.0%} budget"
+    )
+
+
+def test_instrumented_engine_records_while_staying_exact():
+    bare, instrumented = build_engines()
+    queries = [(i * 13) % 120 for i in range(50)]
+    expected = [bare.top_k(q, 8).items for q in queries]
+    got = [instrumented.top_k(q, 8).items for q in queries]
+    assert got == expected
+    # Counters sync lazily at scrape time (snapshot runs the engine's
+    # collector); the latency histogram is recorded live per call.
+    snap = instrumented.metrics.snapshot()
+    assert snap["counters"]["repro_engine_queries_total"] == len(queries)
+    assert snap["counters"]["repro_engine_visited_total"] > 0
+    hist = snap["histograms"]['repro_engine_call_seconds{mode=top_k}']
+    assert hist["count"] == len(queries)

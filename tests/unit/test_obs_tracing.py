@@ -1,0 +1,186 @@
+"""Trace spans: trees, sampling, cross-process absorption, JSONL.
+
+The subtle piece is :meth:`Tracer.absorb`'s id namespacing.  Worker
+processes mint their own span ordinals starting at 1 — the same range
+the gather-side tracer uses — so :func:`remote_span` ships worker ids
+*negated* and ``absorb`` lifts only negative ids into a per-worker
+band.  The invariants under test: a remote span's link to its
+gather-side parent (a positive ctx id) survives untouched, intra-reply
+parent links are remapped consistently, and two workers can never
+collide with each other or with the gather side.
+"""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    read_jsonl,
+    remote_span,
+)
+
+
+class TestLocalSpans:
+    def test_parent_child_share_a_trace(self):
+        tracer = Tracer()
+        root = tracer.start("scheduler.query", tags={"query": 3})
+        child = tracer.start("scheduler.route", parent=root)
+        tracer.finish(child)
+        tracer.finish(root, tags={"n_visited": 17})
+        records = tracer.export()
+        assert [r["name"] for r in records] == [
+            "scheduler.route",
+            "scheduler.query",
+        ]
+        route, query = records
+        assert route["trace_id"] == query["trace_id"]
+        assert route["parent_id"] == query["span_id"]
+        assert query["parent_id"] is None
+        assert query["tags"] == {"query": 3, "n_visited": 17}
+        assert query["seconds"] >= 0.0
+
+    def test_ids_are_deterministic_across_tracers(self):
+        def run():
+            tracer = Tracer()
+            for _ in range(3):
+                root = tracer.start("q")
+                tracer.finish(tracer.start("r", parent=root))
+                tracer.finish(root)
+            return [
+                (r["trace_id"], r["span_id"], r["parent_id"])
+                for r in tracer.export()
+            ]
+
+        assert run() == run()
+
+    def test_sample_every(self):
+        tracer = Tracer(sample_every=3)
+        assert [tracer.sample() for _ in range(7)] == [
+            True, False, False, True, False, False, True,
+        ]
+        assert all(Tracer(sample_every=1).sample() for _ in range(4))
+
+    def test_trace_tree_adjacency(self):
+        tracer = Tracer()
+        root = tracer.start("q")
+        a = tracer.start("a", parent=root)
+        b = tracer.start("b", parent=root)
+        for span in (a, b, root):
+            tracer.finish(span)
+        tree = tracer.trace_tree(root.trace_id)
+        assert [r["name"] for r in tree[None]] == ["q"]
+        assert sorted(r["name"] for r in tree[root.span_id]) == ["a", "b"]
+
+    def test_buffer_cap_drops_oldest(self):
+        tracer = Tracer(max_spans=2)
+        for name in ("a", "b", "c"):
+            tracer.finish(tracer.start(name))
+        assert [r["name"] for r in tracer.export()] == ["b", "c"]
+
+    def test_drain_clears_the_buffer(self):
+        tracer = Tracer()
+        tracer.finish(tracer.start("a"))
+        assert [r["name"] for r in tracer.drain()] == ["a"]
+        assert tracer.export() == []
+
+
+class TestRemoteSpans:
+    def make_ctx(self, tracer):
+        root = tracer.start("scheduler.query")
+        return root, root.context()
+
+    def test_remote_span_negates_worker_ids(self):
+        ctx = {"trace_id": 5, "span_id": 2}
+        record = remote_span(ctx, 1, "worker.batch", 0.01, tags={"shard": 0})
+        assert record["span_id"] == -1
+        assert record["parent_id"] == 2  # ctx parent stays positive
+        leaf = remote_span(ctx, 2, "kernel.scan", 0.005, parent_id=1)
+        assert leaf["span_id"] == -2
+        assert leaf["parent_id"] == -1  # intra-reply parent negated
+
+    def test_absorb_preserves_ctx_parent_and_remaps_local_parent(self):
+        tracer = Tracer()
+        root, ctx = self.make_ctx(tracer)
+        records = [
+            remote_span(ctx, 1, "worker.batch", 0.01),
+            remote_span(ctx, 2, "kernel.scan", 0.005, parent_id=1),
+        ]
+        tracer.absorb(records, namespace=0)
+        tracer.finish(root)
+        by_name = {r["name"]: r for r in tracer.export()}
+        batch, scan = by_name["worker.batch"], by_name["kernel.scan"]
+        # The worker span still hangs off the gather-side root...
+        assert batch["parent_id"] == root.span_id
+        # ...and the leaf hangs off the worker span under its new id.
+        assert scan["parent_id"] == batch["span_id"]
+        assert batch["span_id"] > 0 and scan["span_id"] > 0
+        assert batch["trace_id"] == root.trace_id
+
+    def test_two_workers_never_collide(self):
+        tracer = Tracer()
+        root, ctx = self.make_ctx(tracer)
+        # Both workers mint span id 1 — the classic collision.
+        tracer.absorb([remote_span(ctx, 1, "worker.batch", 0.01)], namespace=0)
+        tracer.absorb([remote_span(ctx, 1, "worker.batch", 0.02)], namespace=1)
+        tracer.finish(root)
+        ids = [r["span_id"] for r in tracer.export()]
+        assert len(ids) == len(set(ids))
+
+    def test_worker_band_clears_gather_side_sequence(self):
+        # A long-lived gather tracer's own ids must stay below every
+        # worker band so remapped ids cannot shadow local ones.
+        tracer = Tracer()
+        root, ctx = self.make_ctx(tracer)
+        tracer.absorb([remote_span(ctx, 7, "worker.batch", 0.01)], namespace=2)
+        tracer.finish(root)
+        absorbed = [r for r in tracer.export() if r["name"] == "worker.batch"]
+        assert absorbed[0]["span_id"] == 3 * 1_000_000_000 + 7
+
+    def test_absorb_without_namespace_passes_through(self):
+        tracer = Tracer()
+        tracer.absorb([{"trace_id": 1, "span_id": 9, "parent_id": None,
+                        "name": "x", "start": 0.0, "seconds": 0.1, "tags": {}}])
+        assert tracer.export()[0]["span_id"] == 9
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        tracer = Tracer()
+        root = tracer.start("q", tags={"k": 5})
+        tracer.finish(tracer.start("r", parent=root))
+        tracer.finish(root)
+        path = str(tmp_path / "trace.jsonl")
+        assert tracer.write_jsonl(path) == 2
+        assert read_jsonl(path) == tracer.export()
+
+    def test_append_mode_accumulates(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer()
+        tracer.finish(tracer.start("a"))
+        tracer.write_jsonl(path)
+        tracer2 = Tracer()
+        tracer2.finish(tracer2.start("b"))
+        tracer2.write_jsonl(path, append=True)
+        assert [r["name"] for r in read_jsonl(path)] == ["a", "b"]
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self, tmp_path):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.sample() is False
+        span = NULL_TRACER.start("x")
+        assert span is None
+        NULL_TRACER.finish(span)
+        NULL_TRACER.absorb([{"span_id": 1}], namespace=0)
+        assert NULL_TRACER.export() == [] and NULL_TRACER.drain() == []
+        assert NULL_TRACER.write_jsonl(str(tmp_path / "t.jsonl")) == 0
+
+
+def test_span_context_is_picklable_primitives():
+    span = Span(trace_id=3, span_id=4, parent_id=None, name="q")
+    ctx = span.context()
+    assert ctx == {"trace_id": 3, "span_id": 4}
+    assert all(isinstance(v, int) for v in ctx.values())
