@@ -1,0 +1,318 @@
+"""Front-door serving benchmark: saturation curve + SLO invariant gate.
+
+Drives the full network path — ``FrontDoorClient`` → TCP → ``FrontDoor``
+admission → ``MicroBatchScheduler`` → ``ReplicaPool`` workers — and
+reports the classic saturation curve (offered rate vs achieved QPS vs
+p50/p95/p99 vs shed rate) from an open-loop Poisson load.
+
+Regression gate (machine-independent, closes ROADMAP item 4(b))
+---------------------------------------------------------------
+Latencies and achieved QPS depend on the machine and are recorded as
+*trajectory only*.  What ``--check BENCH_serving.json`` gates on are the
+**SLO invariants** — deterministic booleans that hold on any hardware
+because the contended scenarios force contention with the front door's
+``wave_delay`` hook (an artificial backend slowdown) rather than by
+outrunning the host:
+
+- ``wire_exact``      — answers over TCP are bit-identical to one
+  in-process ``QueryEngine`` serving the same stream;
+- ``sweep_reconciled`` — every open-loop run answers every offered
+  request with exactly one terminal status;
+- ``overload_sheds`` / ``overload_terminal`` / ``overload_reconciled``
+  — a 1-deep admission bound over a slowed backend rejects some of a
+  pipelined burst, answers *all* of it, and the server-side counters
+  reconcile (``ok+rejected+draining+deadline_exceeded+error == offered``);
+- ``deadline_fires``  — a 1ms budget behind a slowed wave comes back
+  ``deadline_exceeded``, not ``ok`` and not a hang;
+- ``drain_refuses``   — a draining door answers ``draining``.
+
+A committed invariant that flips to false (or goes missing) fails the
+gate with exit 1.  Numbers drifting is fine; *semantics* drifting is not.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py                # table
+    PYTHONPATH=src python benchmarks/bench_serving.py --output BENCH_serving.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --check BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import DynamicKDash, load_index
+from repro.graph import scale_free_digraph
+from repro.query import QueryEngine
+from repro.serving import (
+    FrontDoor,
+    FrontDoorClient,
+    MicroBatchScheduler,
+    ReplicaPool,
+    SnapshotPublisher,
+    SnapshotStore,
+    make_queries,
+    saturation_sweep,
+)
+
+# The kernel/throughput smoke graph family, scaled per mode.
+GRAPH_SEED = 5
+C = 0.95
+FULL = dict(n_nodes=2000, n_edges=8000, rates=(200.0, 1000.0, 4000.0), queries_per_rate=300)
+SMOKE = dict(n_nodes=600, n_edges=2400, rates=(500.0, 3000.0), queries_per_rate=60)
+
+WORKERS = 2
+BATCH_SIZE = 16
+K = 10
+
+#: The booleans the --check gate holds across machines.
+INVARIANT_KEYS = (
+    "wire_exact",
+    "sweep_reconciled",
+    "overload_sheds",
+    "overload_terminal",
+    "overload_reconciled",
+    "deadline_fires",
+    "drain_refuses",
+)
+
+
+def build_snapshot(store_dir: str, n_nodes: int, n_edges: int):
+    graph = scale_free_digraph(n_nodes, n_edges, seed=GRAPH_SEED)
+    store = SnapshotStore(store_dir)
+    dyn = DynamicKDash(graph, c=C, rebuild_threshold=None)
+    snapshot = SnapshotPublisher(QueryEngine(dyn), store).publish()
+    return graph, snapshot
+
+
+def check_wire_exactness(snapshot, n_nodes: int, n_queries: int) -> bool:
+    """Answers over TCP == answers from one in-process engine, bit for bit."""
+    queries = make_queries(n_nodes, n_queries, "zipf", seed=3)
+    reference = QueryEngine(
+        DynamicKDash.from_index(load_index(snapshot.path), rebuild_threshold=None)
+    )
+    want = [
+        [[int(n), float(p)] for n, p in r.items]
+        for r in reference.top_k_many(queries, K)
+    ]
+    with ReplicaPool(snapshot, WORKERS) as pool:
+        door = FrontDoor(
+            MicroBatchScheduler(pool, batch_size=BATCH_SIZE), port=0, n_nodes=n_nodes
+        )
+        with door:
+            with FrontDoorClient(*door.address) as client:
+                got = [client.query(q, k=K) for q in queries]
+    return all(r["status"] == "ok" for r in got) and [
+        r["items"] for r in got
+    ] == want
+
+
+def run_saturation(snapshot, n_nodes: int, rates, queries_per_rate: int):
+    """The open-loop sweep: one row per offered rate, ascending."""
+    with ReplicaPool(snapshot, WORKERS) as pool:
+        door = FrontDoor(
+            MicroBatchScheduler(pool, batch_size=BATCH_SIZE),
+            port=0,
+            n_nodes=n_nodes,
+            max_inflight=256,
+        )
+        with door:
+            host, port = door.address
+            reports = saturation_sweep(
+                host,
+                port,
+                n_nodes,
+                rates=rates,
+                queries_per_rate=queries_per_rate,
+                k=K,
+            )
+            counters = door.counters()
+            server_reconciled = door.reconciled()
+    rows = [r.as_dict() for r in reports]
+    return rows, counters, server_reconciled
+
+
+def run_forced_overload(snapshot, n_nodes: int, burst: int = 30) -> dict:
+    """A pipelined burst into max_inflight=1 over a wave-delayed backend."""
+    with ReplicaPool(snapshot, WORKERS) as pool:
+        door = FrontDoor(
+            MicroBatchScheduler(pool, batch_size=BATCH_SIZE),
+            port=0,
+            n_nodes=n_nodes,
+            max_inflight=1,
+            wave_delay=0.02,
+        )
+        with door:
+            with FrontDoorClient(*door.address) as client:
+                for i in range(burst):
+                    client.send(
+                        {"op": "query", "id": i, "query": i % n_nodes, "k": K}
+                    )
+                responses = [client.recv() for _ in range(burst)]
+            counters = door.counters()
+            reconciled = door.reconciled()
+    statuses: dict = {}
+    for response in responses:
+        statuses[response["status"]] = statuses.get(response["status"], 0) + 1
+    return {
+        "burst": burst,
+        "statuses": statuses,
+        "counters": counters,
+        "ids_complete": sorted(r["id"] for r in responses) == list(range(burst)),
+        "sheds": statuses.get("rejected", 0) > 0,
+        "terminal": set(statuses) <= {"ok", "rejected"},
+        "reconciled": reconciled,
+    }
+
+
+def run_slo_probes(snapshot, n_nodes: int) -> dict:
+    """Deadline and drain semantics behind a deliberately slowed wave."""
+    with ReplicaPool(snapshot, WORKERS) as pool:
+        door = FrontDoor(
+            MicroBatchScheduler(pool, batch_size=BATCH_SIZE),
+            port=0,
+            n_nodes=n_nodes,
+            wave_delay=0.05,
+        )
+        with door:
+            with FrontDoorClient(*door.address) as client:
+                expired = client.query(0, k=K, timeout_ms=1)
+                door.drain()
+                refused = client.query(1, k=K)
+    return {
+        "deadline_fires": expired["status"] == "deadline_exceeded",
+        "drain_refuses": refused["status"] == "draining",
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    params = SMOKE if smoke else FULL
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as store_dir:
+        graph, snapshot = build_snapshot(
+            store_dir, params["n_nodes"], params["n_edges"]
+        )
+        wire_exact = check_wire_exactness(
+            snapshot, graph.n_nodes, n_queries=params["queries_per_rate"] // 2
+        )
+        sweep_rows, sweep_counters, server_reconciled = run_saturation(
+            snapshot, graph.n_nodes, params["rates"], params["queries_per_rate"]
+        )
+        overload = run_forced_overload(snapshot, graph.n_nodes)
+        probes = run_slo_probes(snapshot, graph.n_nodes)
+
+    invariants = {
+        "wire_exact": bool(wire_exact),
+        "sweep_reconciled": bool(
+            server_reconciled and all(row["reconciled"] for row in sweep_rows)
+        ),
+        "overload_sheds": bool(overload["sheds"] and overload["ids_complete"]),
+        "overload_terminal": bool(overload["terminal"]),
+        "overload_reconciled": bool(overload["reconciled"]),
+        "deadline_fires": bool(probes["deadline_fires"]),
+        "drain_refuses": bool(probes["drain_refuses"]),
+    }
+    return {
+        "bench": "serving",
+        "mode": "smoke" if smoke else "full",
+        "graph": {
+            "generator": "scale_free_digraph",
+            "n_nodes": params["n_nodes"],
+            "n_edges": params["n_edges"],
+            "seed": GRAPH_SEED,
+            "c": C,
+        },
+        "workers": WORKERS,
+        "batch_size": BATCH_SIZE,
+        "k": K,
+        # Trajectory (machine-dependent, not gated): the saturation curve.
+        "saturation": sweep_rows,
+        "sweep_counters": sweep_counters,
+        "overload": overload,
+        # Gated (machine-independent): the SLO semantics.
+        "invariants": invariants,
+    }
+
+
+def print_report(report: dict) -> None:
+    graph = report["graph"]
+    print(
+        f"serving bench — scale-free n={graph['n_nodes']} m={graph['n_edges']}, "
+        f"{report['workers']} workers, k={report['k']} ({report['mode']})"
+    )
+    header = (
+        f"  {'offered q/s':>11}  {'achieved':>8}  {'ok':>5}  {'rej':>5}  "
+        f"{'p50 ms':>7}  {'p95 ms':>7}  {'p99 ms':>7}"
+    )
+    print(header)
+    for row in report["saturation"]:
+        lat = row["latency"]
+        fmt = lambda key: f"{lat[key] * 1e3:7.1f}" if lat else "      —"
+        statuses = row["statuses"]
+        print(
+            f"  {row['rate_offered']:>11.0f}  {row['achieved_qps']:>8.0f}  "
+            f"{statuses.get('ok', 0):>5d}  "
+            f"{statuses.get('rejected', 0) + statuses.get('draining', 0):>5d}  "
+            f"{fmt('p50')}  {fmt('p95')}  {fmt('p99')}"
+        )
+    overload = report["overload"]
+    print(
+        f"  forced overload: burst {overload['burst']} -> {overload['statuses']}"
+    )
+    for key, value in report["invariants"].items():
+        print(f"  invariant {key:18s}: {'ok' if value else 'VIOLATED'}")
+
+
+def check_against(report: dict, committed_path: Path) -> int:
+    committed = json.loads(committed_path.read_text())
+    failures = []
+    for key, committed_value in committed["invariants"].items():
+        got = report["invariants"].get(key)
+        status = "ok" if got == committed_value else "REGRESSION"
+        print(f"  gate {key:18s}: committed {committed_value}, run {got} — {status}")
+        if got != committed_value:
+            failures.append(f"{key}: committed {committed_value}, run {got}")
+    for key in INVARIANT_KEYS:
+        if key not in committed["invariants"]:
+            failures.append(f"{key}: missing from committed baseline")
+    if failures:
+        print("serving bench SLO gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("serving bench SLO gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, help="write the report JSON")
+    parser.add_argument(
+        "--check",
+        type=Path,
+        help="compare this run's SLO invariants to a committed "
+        "BENCH_serving.json and exit 1 on any flip",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small graph, fewer rates/queries (CI; invariants unchanged)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke)
+    print_report(report)
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        return check_against(report, args.check)
+    if not all(report["invariants"].values()):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -593,12 +593,19 @@ def _cmd_serve(args) -> int:
     from .exceptions import GraphError
     from .query import QueryEngine, RebuildPolicy
 
-    lines = _read_ops(args)
-    if lines is None:
-        return 2
     code = _reject_sharded_index(args.index, "serve")
     if code is not None:
         return code
+    if args.port is not None:
+        if args.ops:
+            print("note: --port ignores --ops (requests arrive over TCP)")
+        return _serve_frontdoor(args)
+    if args.ops is None:
+        print("error: serve needs --ops (op-stream mode) or --port (TCP front door)")
+        return 2
+    lines = _read_ops(args)
+    if lines is None:
+        return 2
     if args.sharded:
         ignored = []
         if args.workers:
@@ -945,6 +952,133 @@ def _serve_sharded(args, lines: List[str]) -> int:
     return 0
 
 
+def _serve_frontdoor(args) -> int:
+    """``serve --port``: the pool behind an asyncio TCP front door.
+
+    Publishes the index as epoch 0, starts a replica pool (or shard
+    pool with ``--sharded``), and serves framed-JSON requests with
+    admission control, per-request deadlines, and backpressure until
+    SIGTERM/SIGINT (graceful drain: admitted requests complete, new
+    ones are answered ``draining``) or ``--serve-seconds`` elapses.
+    """
+    import signal
+    import tempfile
+    import threading
+    import time
+
+    from .core import DynamicKDash
+    from .query import QueryEngine
+    from .serving import (
+        FrontDoor,
+        MicroBatchScheduler,
+        ReplicaPool,
+        ShardPool,
+        ShardedScheduler,
+        SnapshotPublisher,
+        SnapshotStore,
+    )
+
+    index = load_index(args.index)
+    n_nodes = index.graph.n_nodes
+    publisher_engine = QueryEngine(
+        DynamicKDash.from_index(index, rebuild_threshold=None)
+    )
+    registry, tracer = _serve_telemetry(args)
+    shard_spec = (args.shards, args.partitioner) if args.sharded else None
+
+    with tempfile.TemporaryDirectory(prefix="kdash-snapshots-") as default_dir:
+        store = SnapshotStore(args.snapshot_dir or default_dir)
+        publisher = SnapshotPublisher(
+            publisher_engine, store, shard_spec=shard_spec, registry=registry
+        )
+        snapshot = publisher.publish()
+        if args.sharded:
+            pool = ShardPool(snapshot)
+            scheduler = ShardedScheduler(
+                pool,
+                batch_size=args.batch_size,
+                registry=registry,
+                tracer=tracer,
+            )
+        else:
+            workers = args.workers or 2
+            pool = ReplicaPool(snapshot, workers, cache_size=args.cache_size)
+            scheduler = MicroBatchScheduler(
+                pool,
+                router=args.router,
+                batch_size=args.batch_size,
+                registry=registry,
+                tracer=tracer,
+            )
+        door = FrontDoor(
+            scheduler,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            n_nodes=n_nodes,
+            default_k=args.k,
+            registry=registry,
+        )
+        dump = _MetricsDump(
+            args.metrics_json,
+            args.metrics_interval,
+            lambda: _merged_pool_metrics(registry, pool),
+        )
+        try:
+            host, port = door.start()
+            print(
+                f"front door listening on {host}:{port} "
+                f"(epoch {snapshot.epoch}, {pool.n_workers} "
+                f"{'shard ' if args.sharded else ''}workers, "
+                f"max_inflight {args.max_inflight})",
+                flush=True,
+            )
+            if args.port_file:
+                with open(args.port_file, "w") as handle:
+                    handle.write(f"{port}\n")
+
+            stop_event = threading.Event()
+
+            def _on_signal(signum, frame):
+                print(f"\nsignal {signum}: draining front door", flush=True)
+                stop_event.set()
+
+            try:
+                signal.signal(signal.SIGTERM, _on_signal)
+                signal.signal(signal.SIGINT, _on_signal)
+            except ValueError:
+                pass  # not the main thread (tests drive --serve-seconds)
+
+            if args.serve_seconds > 0:
+                deadline = time.perf_counter() + args.serve_seconds
+                while time.perf_counter() < deadline and not stop_event.is_set():
+                    stop_event.wait(0.2)
+                    dump.tick()
+            else:
+                while not stop_event.is_set():
+                    stop_event.wait(0.5)
+                    dump.tick()
+            door.stop()  # graceful drain: admitted requests complete
+            counts = door.counters()
+            print(
+                "front door counters: "
+                + ", ".join(f"{key}={counts[key]}" for key in sorted(counts))
+                + f" (reconciled: {door.reconciled()})"
+            )
+            _print_latency_envelope(door.latency)
+            per_worker = scheduler.collect_stats()
+            _print_engine_stats(
+                scheduler.aggregate_stats(per_worker),
+                header="final pool stats:",
+            )
+            dump.final()
+            _finish_trace(tracer, args.trace_jsonl)
+        finally:
+            door.stop()
+            pool.close()
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     """The ``loadgen`` path: synthetic traffic through the serving tier.
 
@@ -971,6 +1105,14 @@ def _cmd_loadgen(args) -> int:
         run_load,
     )
 
+    if args.connect:
+        return _loadgen_connect(args)
+    if not args.index:
+        print(
+            "error: loadgen needs --index (pool mode) or "
+            "--connect HOST:PORT (front-door mode)"
+        )
+        return 2
     index = load_index(args.index)
     n = index.graph.n_nodes
     publisher_engine = QueryEngine(
@@ -1062,6 +1204,127 @@ def _cmd_loadgen(args) -> int:
             json.dump(report.as_dict(), handle, indent=2)
         print(f"wrote {args.json}")
     return 0
+
+
+def _loadgen_connect(args) -> int:
+    """``loadgen --connect``: open-loop Poisson traffic at a front door.
+
+    Unlike pool mode (closed-loop: the driver waits for the pool, so
+    the system is never overloaded), connect mode offers load at a
+    fixed rate regardless of completions — the only way to observe the
+    admission controller and deadline machinery shed load.  ``--sweep``
+    runs one open-loop burst per offered rate: the saturation curve.
+    """
+    import json
+
+    from .exceptions import ServingError
+    from .serving import (
+        FrontDoorClient,
+        make_queries,
+        run_open_loop,
+        saturation_sweep,
+    )
+
+    host, _, port_str = args.connect.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_str)
+    except ValueError:
+        print(f"error: --connect expects HOST:PORT, got {args.connect!r}")
+        return 2
+    try:
+        with FrontDoorClient(host, port, timeout=10.0) as probe:
+            info = probe.info()
+    except (OSError, ServingError) as exc:
+        print(f"error: cannot reach front door at {host}:{port}: {exc}")
+        return 2
+    n_nodes = info.get("n_nodes")
+    if not n_nodes:
+        print(
+            f"error: front door at {host}:{port} did not report n_nodes; "
+            "cannot synthesise a query stream"
+        )
+        return 2
+    print(
+        f"front door at {host}:{port}: tier {info.get('tier')}, "
+        f"epoch {info.get('epoch')}, n={n_nodes:,} nodes, "
+        f"max_inflight {info.get('max_inflight')}"
+    )
+
+    if args.sweep:
+        rates = sorted(
+            float(token) for token in args.sweep.split(",") if token.strip()
+        )
+        reports = saturation_sweep(
+            host,
+            port,
+            n_nodes,
+            rates,
+            queries_per_rate=args.queries,
+            k=args.k,
+            dist=args.dist,
+            timeout_ms=args.timeout_ms,
+            seed=args.seed,
+        )
+        _print_saturation_table(reports)
+        payload: dict = {
+            "mode": "saturation_sweep",
+            "connect": f"{host}:{port}",
+            "sweep": [report.as_dict() for report in reports],
+        }
+        failed = [r for r in reports if not r.reconciled]
+    else:
+        queries = make_queries(n_nodes, args.queries, args.dist, seed=args.seed)
+        report = run_open_loop(
+            host,
+            port,
+            queries,
+            k=args.k,
+            rate=args.rate,
+            timeout_ms=args.timeout_ms,
+            seed=args.seed,
+        )
+        _print_saturation_table([report])
+        payload = {
+            "mode": "open_loop",
+            "connect": f"{host}:{port}",
+            **report.as_dict(),
+        }
+        failed = [] if report.reconciled else [report]
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if failed:
+        print(
+            f"error: {len(failed)} run(s) did not reconcile "
+            "(offered != terminal responses) — see transport_errors"
+        )
+        return 1
+    return 0
+
+
+def _print_saturation_table(reports) -> None:
+    """Offered vs achieved vs tail vs shed — the saturation curve rows."""
+    print(
+        f"{'offered q/s':>12} {'achieved q/s':>13} {'ok':>6} {'rej':>6} "
+        f"{'expired':>8} {'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9}"
+    )
+    for report in reports:
+        latency = report.latency or {}
+        expired = report.statuses.get("deadline_exceeded", 0)
+        rejected = report.statuses.get("rejected", 0) + report.statuses.get(
+            "draining", 0
+        )
+
+        def _ms(key):
+            return f"{latency[key] * 1e3:9.3f}" if key in latency else f"{'—':>9}"
+
+        print(
+            f"{report.rate_offered:>12.0f} {report.achieved_qps:>13.0f} "
+            f"{report.n_ok:>6d} {rejected:>6d} {expired:>8d} "
+            f"{_ms('p50')} {_ms('p95')} {_ms('p99')}"
+        )
 
 
 def _cmd_metrics(args) -> int:
@@ -1257,8 +1520,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--index", required=True)
     p_serve.add_argument(
         "--ops",
-        required=True,
-        help="operations file ('-' for stdin): add/remove/query/batch/rebuild lines",
+        help="operations file ('-' for stdin): add/remove/query/batch/rebuild "
+        "lines (required unless --port serves over TCP instead)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve framed-JSON requests over TCP on this port instead of "
+        "an ops file (0 = ephemeral; see --port-file); runs until "
+        "SIGTERM/SIGINT with a graceful drain",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port (default: loopback)",
+    )
+    p_serve.add_argument(
+        "--port-file",
+        help="write the bound port here once listening (for --port 0)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="front-door admission bound: requests beyond this many "
+        "in flight are answered 'rejected' and the connection is "
+        "backpressured",
+    )
+    p_serve.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=0.0,
+        help="with --port: stop (with drain) after this many seconds "
+        "(0 = run until signalled)",
     )
     p_serve.add_argument("--k", type=int, default=5, help="default k for query lines")
     p_serve.add_argument("--cache-size", type=int, default=1024)
@@ -1323,7 +1618,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive synthetic traffic through the serving tier",
         parents=[backend_parent, telemetry_parent],
     )
-    p_load.add_argument("--index", required=True)
+    p_load.add_argument(
+        "--index",
+        help="index archive for pool mode (omit with --connect)",
+    )
+    p_load.add_argument(
+        "--connect",
+        help="HOST:PORT of a running front door (`serve --port`): drive it "
+        "open-loop over TCP instead of spawning a local pool",
+    )
+    p_load.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="offered load in requests/second for --connect "
+        "(Poisson arrivals, honoured regardless of completions)",
+    )
+    p_load.add_argument(
+        "--sweep",
+        help="comma-separated offered rates: one open-loop run per rate, "
+        "printed as a saturation table (--connect only)",
+    )
+    p_load.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-request deadline for --connect requests (expired ones "
+        "are answered 'deadline_exceeded')",
+    )
     p_load.add_argument("--workers", type=int, default=2)
     p_load.add_argument("--router", default="rr", choices=("rr", "hash"))
     p_load.add_argument("--batch-size", type=int, default=32)

@@ -26,9 +26,17 @@ between them:
   answer-side index) and :class:`ShardedScheduler` (home-first
   scatter-gather with cross-shard bound skipping; results bit-identical
   to a single engine);
-- :mod:`repro.serving.loadgen` — seeded workload generation and the
-  measured load driver behind ``cli loadgen`` and
-  ``benchmarks/bench_serving_scaleout.py``.
+- :mod:`repro.serving.frontdoor` — :class:`FrontDoor`, the asyncio TCP
+  service over either scheduler: length-prefixed JSON frames, bounded
+  in-flight admission with backpressure, per-request deadlines, and
+  graceful drain — every request gets a terminal response (``ok`` /
+  ``rejected`` / ``deadline_exceeded`` / ``draining`` / ``error``) and
+  accepted answers stay bit-identical over the wire;
+- :mod:`repro.serving.loadgen` — seeded workload generation, the
+  closed-loop driver behind ``cli loadgen`` and
+  ``benchmarks/bench_serving_scaleout.py``, plus the open-loop Poisson
+  driver (:func:`run_open_loop`, :func:`saturation_sweep`) that pushes
+  a :class:`FrontDoorClient` past saturation.
 
 Exactness contract: a query stream served by the pool — including
 streams interleaved with update batches across snapshot hot-swaps — is
@@ -36,7 +44,17 @@ bit-identical to the same stream served by one
 :class:`~repro.query.engine.QueryEngine`.
 """
 
-from .loadgen import LoadgenReport, make_queries, make_update_batch, run_load
+from .frontdoor import FrontDoor, FrontDoorClient
+from .loadgen import (
+    LoadgenReport,
+    OpenLoopReport,
+    make_queries,
+    make_update_batch,
+    poisson_arrivals,
+    run_load,
+    run_open_loop,
+    saturation_sweep,
+)
 from .publisher import SnapshotPublisher
 from .replica import ReplicaPool
 from .router import (
@@ -69,4 +87,10 @@ __all__ = [
     "make_update_batch",
     "run_load",
     "LoadgenReport",
+    "FrontDoor",
+    "FrontDoorClient",
+    "OpenLoopReport",
+    "poisson_arrivals",
+    "run_open_loop",
+    "saturation_sweep",
 ]

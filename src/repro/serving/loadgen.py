@@ -20,13 +20,15 @@ equivalence tests rely on it).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, ServingError
+from .frontdoor import FrontDoorClient
 
 #: Query distributions understood by :func:`make_queries`.
 QUERY_DISTS = ("zipf", "uniform")
@@ -195,7 +197,13 @@ def run_load(
     seconds = time.perf_counter() - t0
 
     results = scheduler.take_results(seqs)
-    assert len(results) == len(queries)
+    if len(results) != len(queries):
+        # Not an assert: a lost result must surface in production runs
+        # too, and `python -O` strips asserts exactly there.
+        raise ServingError(
+            f"scheduler returned {len(results)} results for "
+            f"{len(queries)} queries — results were lost"
+        )
     per_worker = scheduler.collect_stats()
     latency = getattr(scheduler, "latency", None)
     envelope = (
@@ -218,3 +226,231 @@ def run_load(
         routed_counts=list(scheduler.routed_counts),
         latency=envelope,
     )
+
+# ----------------------------------------------------------------------
+# Open-loop generation against the TCP front door
+# ----------------------------------------------------------------------
+#
+# ``run_load`` above is *closed-loop*: the driver waits for the pool, so
+# offered load automatically tracks capacity and the system is never
+# overloaded.  Real traffic is not so polite — arrivals come from
+# independent users who neither know nor care how busy the service is.
+# The open-loop driver models that: send times are drawn up front from a
+# Poisson process at the offered rate and honoured regardless of how
+# fast responses come back, which is the only way to ever observe the
+# front door's rejection and deadline machinery doing its job.
+
+
+def poisson_arrivals(count: int, rate: float, seed: int = 0) -> np.ndarray:
+    """``count`` cumulative arrival offsets (seconds) at ``rate`` req/s.
+
+    Inter-arrival gaps are exponential — a Poisson process — and seeded,
+    so a sweep replays the identical arrival schedule at every rate
+    multiplier.
+    """
+    if rate <= 0:
+        raise InvalidParameterError(
+            f"arrival rate must be positive, got {rate!r}"
+        )
+    if count < 1:
+        raise InvalidParameterError(
+            f"arrival count must be positive, got {count!r}"
+        )
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate, size=count))
+
+
+@dataclass
+class OpenLoopReport:
+    """One open-loop run: offered load in, terminal statuses + tail out."""
+
+    n_offered: int
+    rate_offered: float
+    k: int
+    seconds: float
+    #: Terminal-status histogram (``ok``/``rejected``/``draining``/
+    #: ``deadline_exceeded``/``error``) over the responses received.
+    statuses: Dict[str, int] = field(default_factory=dict)
+    #: Client-side send→response latency envelope of the ``ok`` subset.
+    latency: Dict[str, float] = field(default_factory=dict)
+    #: Transport-level failures (connection died mid-run), not statuses.
+    transport_errors: List[str] = field(default_factory=list)
+
+    @property
+    def n_ok(self) -> int:
+        return self.statuses.get("ok", 0)
+
+    @property
+    def n_responses(self) -> int:
+        return sum(self.statuses.values())
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.n_ok / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def reject_rate(self) -> float:
+        if not self.n_offered:
+            return 0.0
+        rejected = self.statuses.get("rejected", 0) + self.statuses.get(
+            "draining", 0
+        )
+        return rejected / self.n_offered
+
+    @property
+    def reconciled(self) -> bool:
+        """Every offered request received exactly one terminal response."""
+        return self.n_responses == self.n_offered
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_offered": self.n_offered,
+            "rate_offered": self.rate_offered,
+            "k": self.k,
+            "seconds": self.seconds,
+            "achieved_qps": self.achieved_qps,
+            "reject_rate": self.reject_rate,
+            "reconciled": self.reconciled,
+            "statuses": dict(self.statuses),
+            "latency": dict(self.latency),
+            "transport_errors": list(self.transport_errors),
+        }
+
+
+def _latency_envelope(latencies: List[float]) -> Dict[str, float]:
+    if not latencies:
+        return {}
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+def run_open_loop(
+    host: str,
+    port: int,
+    queries: Sequence[int],
+    k: int = 10,
+    rate: float = 500.0,
+    timeout_ms: Optional[float] = None,
+    seed: int = 0,
+    settle_timeout: float = 60.0,
+) -> OpenLoopReport:
+    """Offer ``queries`` to a front door at ``rate`` req/s, open-loop.
+
+    One pipelined connection, two threads: the sender honours the
+    pre-drawn Poisson schedule (it never waits for responses — that
+    would close the loop), the receiver matches responses to requests by
+    ``id``.  The front door's terminal-response contract is what makes
+    this terminate: every offered request is answered with ``ok``,
+    ``rejected``, ``deadline_exceeded``, ``draining``, or ``error``.
+    """
+    queries = [int(q) for q in queries]
+    arrivals = poisson_arrivals(len(queries), rate, seed=seed)
+    client = FrontDoorClient(host, port, timeout=settle_timeout)
+    send_times: Dict[int, float] = {}
+    responses: Dict[int, Tuple[dict, float]] = {}
+    transport_errors: List[str] = []
+    done = threading.Event()
+
+    def receive() -> None:
+        try:
+            for _ in range(len(queries)):
+                response = client.recv()
+                responses[response.get("id")] = (
+                    response,
+                    time.perf_counter(),
+                )
+        except Exception as exc:  # transport failure, not a status
+            transport_errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            done.set()
+
+    receiver = threading.Thread(
+        target=receive, name="loadgen-recv", daemon=True
+    )
+    receiver.start()
+    t0 = time.perf_counter()
+    for i, (query, offset) in enumerate(zip(queries, arrivals)):
+        delay = (t0 + offset) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        payload: Dict[str, object] = {
+            "op": "query",
+            "id": i,
+            "query": query,
+            "k": int(k),
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        send_times[i] = time.perf_counter()
+        try:
+            client.send(payload)
+        except OSError as exc:
+            transport_errors.append(f"{type(exc).__name__}: {exc}")
+            break
+    done.wait(timeout=settle_timeout)
+    seconds = time.perf_counter() - t0
+    client.close()
+    receiver.join(timeout=5.0)
+
+    statuses: Dict[str, int] = {}
+    ok_latencies: List[float] = []
+    for req_id, (response, t_recv) in responses.items():
+        status = response.get("status", "error")
+        statuses[status] = statuses.get(status, 0) + 1
+        if status == "ok" and req_id in send_times:
+            ok_latencies.append(t_recv - send_times[req_id])
+    return OpenLoopReport(
+        n_offered=len(queries),
+        rate_offered=float(rate),
+        k=int(k),
+        seconds=seconds,
+        statuses=statuses,
+        latency=_latency_envelope(ok_latencies),
+        transport_errors=transport_errors,
+    )
+
+
+def saturation_sweep(
+    host: str,
+    port: int,
+    n_nodes: int,
+    rates: Sequence[float],
+    queries_per_rate: int = 300,
+    k: int = 10,
+    dist: str = "zipf",
+    timeout_ms: Optional[float] = None,
+    seed: int = 0,
+) -> List[OpenLoopReport]:
+    """One :func:`run_open_loop` per offered rate, ascending.
+
+    The classic saturation curve: offered load vs achieved QPS vs
+    p50/p95/p99 vs reject rate.  Below the knee achieved tracks offered
+    and rejects stay at zero; past it achieved plateaus and the
+    admission controller starts shedding — the whole point of the
+    front door over a bare socket.
+    """
+    reports = []
+    for i, rate in enumerate(sorted(rates)):
+        queries = make_queries(
+            n_nodes, queries_per_rate, dist=dist, seed=seed + i
+        )
+        reports.append(
+            run_open_loop(
+                host,
+                port,
+                queries,
+                k=k,
+                rate=rate,
+                timeout_ms=timeout_ms,
+                seed=seed + i,
+            )
+        )
+    return reports

@@ -71,6 +71,30 @@ from .snapshot import Snapshot
 DEFAULT_TIMEOUT = 120.0
 
 
+def _report_worker_crash(result_q, worker_id: int) -> None:
+    """Ship the crashing worker's full traceback to the gather side.
+
+    The reply carries ``traceback.format_exc()`` as a plain string —
+    always picklable, unlike the exception object itself (a crash whose
+    exception can't cross the queue would otherwise be silently
+    swallowed and the pool would only see an opaque dead worker).  If
+    even the string can't be enqueued (queue torn down mid-crash), the
+    traceback goes to the worker's stderr instead of vanishing.
+    """
+    import sys
+    import traceback
+
+    detail = traceback.format_exc()
+    try:
+        result_q.put(("error", worker_id, detail))
+    except Exception:
+        print(
+            f"[worker {worker_id}] crash report lost to a dead queue:\n{detail}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
 def _serve_batch(engine: QueryEngine, requests: Sequence[Tuple[int, int]]):
     """Serve one micro-batch of ``(query, k)`` requests, input order kept.
 
@@ -204,11 +228,8 @@ def worker_main(
                     ("error", worker_id, f"unknown message kind {kind!r}")
                 )
                 break
-    except Exception as exc:  # surface crashes instead of hanging the pool
-        try:
-            result_q.put(("error", worker_id, f"{type(exc).__name__}: {exc}"))
-        except Exception:
-            pass
+    except Exception:  # surface crashes instead of hanging the pool
+        _report_worker_crash(result_q, worker_id)
     finally:
         # Flush the queue feeder thread before the process exits so the
         # final message is never lost.
@@ -341,7 +362,10 @@ class ReplicaPool:
                 f"no worker reply within {timeout or self.timeout:.0f}s{detail}"
             ) from None
         if message[0] == "error":
-            raise ServingError(f"worker {message[1]} failed: {message[2]}")
+            # message[2] is the worker's full traceback (a plain string;
+            # see _report_worker_crash) — re-raised here with the worker
+            # identity so the gather side sees the original crash site.
+            raise ServingError(f"worker {message[1]} failed:\n{message[2]}")
         return message
 
     def collect_stats(self) -> List[dict]:

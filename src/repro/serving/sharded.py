@@ -65,7 +65,7 @@ from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..obs.tracing import NULL_TRACER, remote_span
 from ..query.kernel import ScanResult, scan_to_topk
 from ..validation import check_k, check_node_id, check_positive_int
-from .replica import ReplicaPool
+from .replica import ReplicaPool, _report_worker_crash
 from .snapshot import Snapshot
 
 
@@ -243,11 +243,8 @@ def shard_worker_main(
                     ("error", worker_id, f"unknown message kind {kind!r}")
                 )
                 break
-    except Exception as exc:  # surface crashes instead of hanging the pool
-        try:
-            result_q.put(("error", worker_id, f"{type(exc).__name__}: {exc}"))
-        except Exception:
-            pass
+    except Exception:  # surface crashes instead of hanging the pool
+        _report_worker_crash(result_q, worker_id)
     finally:
         result_q.close()
         result_q.join_thread()

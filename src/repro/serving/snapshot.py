@@ -208,7 +208,32 @@ class SnapshotStore:
             stem, _, suffix = name.rpartition(".shard")
             if suffix and name.endswith(".npz") and stem and stem not in live:
                 os.remove(os.path.join(self.directory, name))
+        self._sweep_stale_temps()
         return removed
+
+    def _sweep_stale_temps(self) -> None:
+        """Remove temp files orphaned by a publisher crash.
+
+        A publisher killed between writing ``.tmp-<epoch>-<pid>.npz``
+        (or ``.CURRENT.tmp.<pid>``, or ``index_io``'s own
+        ``<payload>.tmp-<pid>.npz`` staging files) and the
+        ``os.replace`` leaves the temp file behind forever — nothing
+        ever renames or reads it again.  The same single-writer
+        discipline that makes the payload sweep above safe applies: no
+        publication is mid-flight while its own ``publish()`` calls
+        ``prune()``, so any temp file seen here belongs to a dead
+        publisher and is garbage.
+        """
+        for name in os.listdir(self.directory):
+            if (
+                name.startswith(".tmp-")
+                or name.startswith(f".{_CURRENT_NAME}.tmp.")
+                or ".npz.tmp-" in name
+            ):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:  # pragma: no cover - raced with a cleaner
+                    pass
 
     def _remove_payloads(self, manifest_name: str) -> None:
         stem = manifest_name[:-4]

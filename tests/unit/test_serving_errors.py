@@ -1,0 +1,147 @@
+"""Serving-tier failure paths: crashes surface loudly, never as hangs.
+
+The happy-path suites prove the pool is *exact*; this one proves it is
+*debuggable*.  Every defended error path gets exercised:
+
+- a worker process that dies mid-batch ships its **full traceback** as
+  a string through the result queue, and the scheduler re-raises it as
+  a :class:`~repro.exceptions.ServingError` naming the worker — the
+  crash site is in the message, not swallowed into an opaque timeout;
+- protocol confusion (unexpected reply kinds while awaiting results,
+  swap acks, or stats; result-count mismatches) raises immediately;
+- results cannot be taken before :meth:`drain`, epochs cannot move
+  backwards, and a scheduler that loses results fails the load run
+  with a raise that survives ``python -O`` (no bare ``assert``).
+"""
+
+import pytest
+
+from repro.core import DynamicKDash, load_index
+from repro.exceptions import InvalidParameterError, ServingError
+from repro.graph import erdos_renyi_graph
+from repro.query import QueryEngine
+from repro.serving import (
+    MicroBatchScheduler,
+    ReplicaPool,
+    SnapshotPublisher,
+    SnapshotStore,
+    run_load,
+)
+
+N = 60
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("error-snapshots")
+    store = SnapshotStore(str(directory))
+    dyn = DynamicKDash(erdos_renyi_graph(N, 0.08, seed=42), c=0.9, rebuild_threshold=None)
+    SnapshotPublisher(QueryEngine(dyn), store).publish()
+    return store
+
+
+@pytest.fixture
+def snapshot(store):
+    return store.list_snapshots()[0]
+
+
+class TestWorkerCrashReporting:
+    def test_crash_ships_the_full_traceback(self, snapshot):
+        """An out-of-range query kills the worker's batch loop; the
+        reply must carry the original traceback, worker id included."""
+        with ReplicaPool(snapshot, 1) as pool:
+            pool.send(0, ("batch", 0, [(10 * N, 5)]))
+            with pytest.raises(ServingError) as excinfo:
+                pool.recv()
+        message = str(excinfo.value)
+        assert "worker 0 failed" in message
+        assert "Traceback (most recent call last)" in message
+        # The crash site itself is in the report, not just its existence.
+        assert "top_k_many" in message or "Error" in message
+
+    def test_crash_surfaces_through_scheduler_drain(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=2)
+            scheduler.submit(10 * N, k=5)
+            scheduler.submit(0, k=5)  # fills the batch -> dispatch
+            with pytest.raises(ServingError, match="Traceback"):
+                scheduler.drain()
+
+    def test_unknown_message_kind_is_reported(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            pool.send(0, ("defragment",))
+            with pytest.raises(ServingError, match="unknown message kind"):
+                pool.recv()
+
+
+class TestSchedulerErrorPaths:
+    def test_take_results_before_drain_raises(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=8)
+            seq = scheduler.submit(3, k=5)
+            with pytest.raises(ServingError, match="drain"):
+                scheduler.take_results([seq])
+            scheduler.drain()  # leave the pool clean for close()
+            assert scheduler.take_results([seq])[0].query == 3
+
+    def test_absorb_rejects_unexpected_reply_kind(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=8)
+            with pytest.raises(ServingError, match="unexpected reply"):
+                scheduler._absorb(("stats", 0, {}))
+
+    def test_absorb_rejects_result_count_mismatch(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=8)
+            scheduler._pending[7] = [0, 1]
+            with pytest.raises(ServingError, match="2 requests but 1 results"):
+                scheduler._absorb(("results", 0, 7, [None]))
+
+    def test_publish_rejects_unexpected_reply(self, store, snapshot):
+        next_epoch = store.latest().epoch + 1
+        advanced = store.publish(load_index(snapshot.path), epoch=next_epoch)
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=8)
+            pool.send(0, ("stats",))  # stray reply arrives before the acks
+            with pytest.raises(ServingError, match="awaiting swap acks"):
+                scheduler.publish(advanced)
+
+    def test_publish_epoch_must_advance(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            scheduler = MicroBatchScheduler(pool, batch_size=8)
+            with pytest.raises(InvalidParameterError, match="advance"):
+                scheduler.publish(snapshot)
+
+    def test_collect_stats_rejects_unexpected_reply(self, snapshot):
+        with ReplicaPool(snapshot, 1) as pool:
+            pool.send(0, ("batch", 0, [(3, 5)]))  # a results reply, not stats
+            with pytest.raises(ServingError, match="collecting stats"):
+                pool.collect_stats()
+
+
+class _LossyScheduler:
+    """A scheduler double whose results vanish (the bug run_load defends)."""
+
+    batch_size = 4
+
+    def __init__(self):
+        class _Pool:
+            n_workers = 1
+
+        self.pool = _Pool()
+
+    def submit(self, query, k):
+        return 0
+
+    def drain(self):
+        pass
+
+    def take_results(self, seqs):
+        return []
+
+
+class TestRunLoadLostResults:
+    def test_lost_results_raise_not_assert(self):
+        # Must be a real raise (asserts vanish under `python -O`).
+        with pytest.raises(ServingError, match="results were lost"):
+            run_load(_LossyScheduler(), [1, 2, 3], k=5)

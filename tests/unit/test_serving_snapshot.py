@@ -80,6 +80,36 @@ class TestSnapshotStore:
         leftovers = [n for n in os.listdir(tmp_path) if n.startswith(".tmp")]
         assert leftovers == []
 
+    def test_prune_sweeps_crashed_publishers_temps(self, tmp_path, built):
+        """Simulated publisher crashes: every temp-file shape the write
+        paths can orphan (archive staging, CURRENT staging, index_io's
+        payload staging) is swept by prune, while the live snapshot and
+        the CURRENT pointer survive untouched."""
+        store = SnapshotStore(str(tmp_path))
+        snap = store.publish(built)
+        stale = [
+            tmp_path / ".tmp-00000009-99999.npz",  # archive staging
+            tmp_path / ".CURRENT.tmp.99999",  # pointer staging
+            tmp_path / "snapshot-00000009.npz.tmp-99999.npz",  # index_io staging
+        ]
+        for path in stale:
+            path.write_bytes(b"half-written")
+        store.prune(keep=5)
+        assert not any(path.exists() for path in stale)
+        assert os.path.exists(snap.path)
+        assert store.latest().epoch == snap.epoch
+        assert (tmp_path / "CURRENT").exists()
+
+    def test_keep_policy_sweeps_temps_on_publish(self, tmp_path, built):
+        """With a keep policy, the sweep rides every publication — a
+        long-lived publisher self-heals without an operator prune."""
+        store = SnapshotStore(str(tmp_path), keep=2)
+        store.publish(built)
+        (tmp_path / ".tmp-00000004-11111.npz").write_bytes(b"orphan")
+        store.publish(built)
+        leftovers = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+        assert leftovers == []
+
 
 class TestSnapshotPublisher:
     def test_requires_dynamic_engine(self, tmp_path, built):
