@@ -18,6 +18,20 @@ published snapshot of a scale-free graph:
 4. **update churn soak** — queries interleaved with publisher batches
    and snapshot hot-swaps, with a single-process reference asserting
    the pool's answers stay **bit-identical** across every swap.
+5. **precision tiers** — the same stream served ``bounded`` through the
+   pool must return byte-identical items to the exact run (certified
+   answers are exact-rescored; gap overlaps escalate) with reconciled
+   fast-path/escalation counters.
+
+Regression gate (machine-independent, ROADMAP item 4(b))
+--------------------------------------------------------
+Wall-clock numbers are trajectory only.  ``--check BENCH_scaleout.json``
+gates on the **invariants** — booleans that hold on any hardware:
+churn-soak bit-identity, full answer accounting, the consistent-hash
+hit-rate win on a zipf stream, live telemetry artifacts, and the
+precision-tier identity + reconciliation above.  A committed invariant
+that flips (or goes missing) exits 1; numbers drifting is fine,
+semantics drifting is not.
 
 Run standalone for wall-clock tables::
 
@@ -26,7 +40,7 @@ Run standalone for wall-clock tables::
 or in smoke mode (tiny graph, 2 workers, JSON artifact for CI)::
 
     PYTHONPATH=src python benchmarks/bench_serving_scaleout.py --smoke \
-        --output BENCH_serving_scaleout.json
+        --output BENCH_serving_scaleout.json --check BENCH_scaleout.json
 """
 
 from __future__ import annotations
@@ -34,8 +48,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import tempfile
 import time
+from pathlib import Path
 from typing import Dict, List
 
 import numpy as np
@@ -56,6 +72,17 @@ from repro.serving import (
 C = 0.95
 K = 10
 
+#: The booleans the --check gate holds across machines (the committed
+#: BENCH_scaleout.json stores them under its "serving" section).
+INVARIANT_KEYS = (
+    "scaleout_answers_complete",
+    "routing_affinity_wins",
+    "churn_exact",
+    "telemetry_spans_present",
+    "precision_identical",
+    "precision_reconciled",
+)
+
 
 def publish_base(graph, directory: str):
     """Build once, publish epoch 0; returns (store, snapshot)."""
@@ -71,7 +98,7 @@ def timed_run(snapshot, workers: int, router: str, batch_size: int,
     with ReplicaPool(snapshot, workers, cache_size=cache_size) as pool:
         scheduler = MicroBatchScheduler(pool, router=router, batch_size=batch_size)
         t0 = time.perf_counter()
-        scheduler.run(queries, K)
+        results = scheduler.run(queries, K)
         seconds = time.perf_counter() - t0
         agg = scheduler.aggregate_stats(scheduler.collect_stats())
     return {
@@ -82,6 +109,7 @@ def timed_run(snapshot, workers: int, router: str, batch_size: int,
         "queries_per_second": len(queries) / seconds,
         "hit_rate": round(agg["hit_rate"], 4),
         "scans_executed": agg["scans_executed"],
+        "answers_complete": len(results) == len(queries),
     }
 
 
@@ -251,8 +279,91 @@ def bench_telemetry(snapshot, workers, queries, batch_size,
     return row
 
 
+def bench_precision(snapshot, workers, queries, batch_size) -> Dict:
+    """Section 6: the precision tiers through the pool.
+
+    Uncached workers (cache_size=0) so the bounded stream actually runs
+    the CPI-verify-or-escalate path; the exact stream is the reference.
+    Bounded items must be byte-identical, and every bounded scan must be
+    accounted as either fast-path or escalated.
+    """
+    with ReplicaPool(snapshot, workers, cache_size=0) as pool:
+        scheduler = MicroBatchScheduler(pool, batch_size=batch_size)
+        want = scheduler.run(queries, K)
+        before = scheduler.aggregate_stats(scheduler.collect_stats())
+        t0 = time.perf_counter()
+        got = scheduler.run(queries, K, precision="bounded(1e-08)")
+        seconds = time.perf_counter() - t0
+        after = scheduler.aggregate_stats(scheduler.collect_stats())
+    attempts = after["fast_path_queries"] + after["escalated_queries"]
+    bounded_scans = after["scans_executed"] - before["scans_executed"]
+    row = {
+        "workers": workers,
+        "queries": len(queries),
+        "seconds": seconds,
+        "queries_per_second": len(queries) / seconds,
+        "fast_path_queries": after["fast_path_queries"],
+        "escalated_queries": after["escalated_queries"],
+        "escalation_rate": round(after["escalation_rate"], 4),
+        "identical_to_exact": [r.items for r in got] == [r.items for r in want],
+        "reconciled": attempts == bounded_scans and attempts > 0,
+    }
+    print(
+        f"  bounded(1e-08) over {workers} workers: "
+        f"{row['fast_path_queries']} fast path / "
+        f"{row['escalated_queries']} escalated "
+        f"(rate {row['escalation_rate']:.2f}), "
+        f"byte-identical to exact: {row['identical_to_exact']}"
+    )
+    return row
+
+
+def collect_invariants(results: Dict) -> Dict:
+    """The machine-independent booleans the --check gate holds."""
+    runs = (
+        list(results["scaleout"].values())
+        + list(results["batch_sizes"].values())
+        + list(results["routing"].values())
+    )
+    return {
+        "scaleout_answers_complete": all(r["answers_complete"] for r in runs),
+        "routing_affinity_wins": (
+            results["routing"]["hash"]["hit_rate"]
+            >= results["routing"]["rr"]["hit_rate"]
+        ),
+        "churn_exact": bool(results["churn"]["exact_across_swaps"]),
+        "telemetry_spans_present": (
+            results["telemetry"]["spans"] > 0 and results["telemetry"]["traces"] > 0
+        ),
+        "precision_identical": bool(results["precision"]["identical_to_exact"]),
+        "precision_reconciled": bool(results["precision"]["reconciled"]),
+    }
+
+
+def check_against(invariants: Dict, committed_path: Path, section: str) -> int:
+    """Gate this run's invariants against the committed baseline section."""
+    committed = json.loads(committed_path.read_text())[section]["invariants"]
+    failures = []
+    for key, committed_value in committed.items():
+        got = invariants.get(key)
+        status = "ok" if got == committed_value else "REGRESSION"
+        print(f"  gate {key:26s}: committed {committed_value}, run {got} — {status}")
+        if got != committed_value:
+            failures.append(f"{key}: committed {committed_value}, run {got}")
+    for key in INVARIANT_KEYS:
+        if key not in committed:
+            failures.append(f"{key}: missing from committed baseline")
+    if failures:
+        print(f"{section} scale-out gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"{section} scale-out gate passed")
+    return 0
+
+
 # ----------------------------------------------------------------------
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true",
@@ -269,6 +380,12 @@ def main() -> None:
     parser.add_argument(
         "--trace-jsonl",
         help="write the instrumented run's span records here (JSONL)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        help="compare this run's invariants to the 'serving' section of a "
+        "committed BENCH_scaleout.json and exit 1 on any flip",
     )
     args = parser.parse_args()
 
@@ -324,6 +441,12 @@ def main() -> None:
             args.metrics_json, args.trace_jsonl,
         )
 
+        print(f"\nprecision tiers ({max_workers} workers, uncached):")
+        results["precision"] = bench_precision(
+            snapshot, max_workers,
+            queries[: max(100, len(queries) // 10)], config["batch_size"],
+        )
+
     top = results["scaleout"][str(config["worker_counts"][-1])]
     print(
         f"\n{config['worker_counts'][-1]} workers vs 1: "
@@ -335,12 +458,20 @@ def main() -> None:
             - results["routing"]["rr"]["hit_rate"])
     print(f"consistent-hash affinity: +{gain:.3f} cache hit rate over round-robin")
 
+    invariants = collect_invariants(results)
+    results["invariants"] = invariants
+    for key, value in invariants.items():
+        print(f"invariant {key:26s}: {'ok' if value else 'VIOLATED'}")
+
     if args.smoke:
         payload = {"benchmark": "serving_scaleout", "k": K, "c": C, **results}
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote {args.output}")
+    if args.check:
+        return check_against(invariants, args.check, "serving")
+    return 0 if all(invariants.values()) else 1
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

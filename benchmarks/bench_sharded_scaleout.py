@@ -19,7 +19,19 @@ communities, rare cross-community edges):
    equivalence check against a single-process engine.
 
 Every cell also verifies the planner's answers equal the single-index
-engine's **exactly** (ids, proximities, order) on a query sample.
+engine's **exactly** (ids, proximities, order) on a query sample.  A
+fourth section drives the precision tiers through the shard pool: no
+shard worker holds the full-graph adjacency the CPI fast path needs, so
+the sharded tier *promotes* every non-exact request to the exact plan —
+answers must stay byte-identical and every such query must be counted
+escalated.
+
+Regression gate (machine-independent, ROADMAP item 4(b))
+--------------------------------------------------------
+``--check BENCH_scaleout.json`` gates on the **invariants** (the
+"sharded" section of the committed file): grid + pool exactness, the
+nonzero skewed skip rate, and the precision promotion contract.  A
+committed invariant that flips (or goes missing) exits 1.
 
 Run standalone for wall-clock tables::
 
@@ -28,7 +40,7 @@ Run standalone for wall-clock tables::
 or in smoke mode (tiny graph, JSON artifact for CI)::
 
     PYTHONPATH=src python benchmarks/bench_sharded_scaleout.py --smoke \
-        --output BENCH_sharded_scaleout.json
+        --output BENCH_sharded_scaleout.json --check BENCH_scaleout.json
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ import json
 import os
 import tempfile
 import time
+from pathlib import Path
 from typing import Dict, List
 
 from repro.core import DynamicKDash, KDash, ShardedIndex
@@ -54,6 +67,16 @@ from repro.serving import (
 
 C = 0.95
 K = 10
+
+#: The booleans the --check gate holds across machines (the committed
+#: BENCH_scaleout.json stores them under its "sharded" section).
+INVARIANT_KEYS = (
+    "grid_exact",
+    "pool_bit_identical",
+    "skewed_skip_nonzero",
+    "precision_promoted",
+    "precision_reconciled",
+)
 
 
 def build_graph(n_communities: int, community_size: int, seed: int = 7):
@@ -195,6 +218,67 @@ def bench_shard_pool(graph, n_shards: int, queries, reference_engine,
     return row
 
 
+def bench_precision_promotion(graph, n_shards: int, queries,
+                              reference_engine) -> Dict:
+    """Section 4: non-exact tiers through the shard pool.
+
+    The scatter-gather plan is the only way a shard worker can answer,
+    so the scheduler promotes bounded/best-effort requests to the exact
+    plan and books them as escalations — never a looser answer.
+    """
+    with tempfile.TemporaryDirectory(prefix="kdash-sharded-prec-") as directory:
+        store = SnapshotStore(directory)
+        dyn = DynamicKDash(graph.copy(), c=C, rebuild_threshold=None)
+        publisher = SnapshotPublisher(
+            QueryEngine(dyn), store, shard_spec=(n_shards, "louvain")
+        )
+        snapshot = publisher.publish()
+        with ShardPool(snapshot) as pool:
+            scheduler = ShardedScheduler(pool, batch_size=16)
+            got = scheduler.run(queries, K, precision="bounded(1e-08)")
+            agg = scheduler.aggregate_stats(scheduler.collect_stats())
+    want = reference_engine.top_k_many(queries, K)
+    row = {
+        "n_shards": n_shards,
+        "queries": len(queries),
+        "fast_path_queries": agg["fast_path_queries"],
+        "escalated_queries": agg["escalated_queries"],
+        "promoted": [r.items for r in got] == [r.items for r in want],
+        "reconciled": (
+            agg["fast_path_queries"] == 0
+            and agg["escalated_queries"] == len(queries)
+        ),
+    }
+    print(
+        f"  bounded(1e-08) over {n_shards} shard workers: "
+        f"{row['escalated_queries']}/{row['queries']} promoted to the exact "
+        f"plan, byte-identical={row['promoted']}"
+    )
+    return row
+
+
+def check_against(invariants: Dict, committed_path: Path) -> int:
+    """Gate this run against the committed baseline's sharded section."""
+    committed = json.loads(committed_path.read_text())["sharded"]["invariants"]
+    failures = []
+    for key, committed_value in committed.items():
+        got = invariants.get(key)
+        status = "ok" if got == committed_value else "REGRESSION"
+        print(f"  gate {key:22s}: committed {committed_value}, run {got} — {status}")
+        if got != committed_value:
+            failures.append(f"{key}: committed {committed_value}, run {got}")
+    for key in INVARIANT_KEYS:
+        if key not in committed:
+            failures.append(f"{key}: missing from committed baseline")
+    if failures:
+        print("sharded scale-out gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("sharded scale-out gate passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -210,6 +294,12 @@ def main() -> int:
     parser.add_argument(
         "--trace-jsonl",
         help="write the pool run's span records here (JSONL)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        help="compare this run's invariants to the 'sharded' section of a "
+        "committed BENCH_scaleout.json and exit 1 on any flip",
     )
     args = parser.parse_args()
 
@@ -256,8 +346,25 @@ def main() -> int:
         trace_path=args.trace_jsonl,
     )
 
+    print("precision tiers (shard pool):")
+    precision_row = bench_precision_promotion(
+        graph,
+        shard_counts[-1],
+        workloads["skewed"][: max(60, n_queries // 8)],
+        engine,
+    )
+
     skewed_skips = [r["skip_rate"] for r in grid if r["workload"] == "skewed"
                     and r["n_shards"] > 1]
+    invariants = {
+        "grid_exact": all(r["exact"] for r in grid),
+        "pool_bit_identical": bool(pool_row["bit_identical"]),
+        "skewed_skip_nonzero": bool(
+            skewed_skips and min(skewed_skips) > 0.0
+        ),
+        "precision_promoted": bool(precision_row["promoted"]),
+        "precision_reconciled": bool(precision_row["reconciled"]),
+    }
     report = {
         "config": {
             "smoke": args.smoke,
@@ -269,18 +376,24 @@ def main() -> int:
         },
         "planner_grid": grid,
         "shard_pool": pool_row,
+        "precision": precision_row,
         "all_exact": all(r["exact"] for r in grid) and pool_row["bit_identical"],
         "skewed_skip_rate_min": min(skewed_skips) if skewed_skips else 0.0,
+        "invariants": invariants,
     }
     print(
         f"all exact: {report['all_exact']}; "
         f"min skewed skip rate: {report['skewed_skip_rate_min']:.2f}"
     )
+    for key, value in invariants.items():
+        print(f"invariant {key:22s}: {'ok' if value else 'VIOLATED'}")
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2)
         print(f"wrote {args.output}")
-    return 0 if report["all_exact"] else 1
+    if args.check:
+        return check_against(invariants, args.check)
+    return 0 if all(invariants.values()) else 1
 
 
 if __name__ == "__main__":

@@ -74,6 +74,17 @@ class ProximityBaseline(abc.ABC):
     def _proximity_vector(self, query: int) -> np.ndarray:
         """Method-specific (possibly approximate) proximity vector."""
 
+    def error_estimate(self) -> float:
+        """A-priori per-entry error estimate of the proximity vector.
+
+        Exact (full-vector deterministic) methods return 0.0; stochastic
+        estimators override this with a standard-error-style figure.  The
+        value is surfaced on every :class:`TopKResult` as ``error_bound``
+        so the serving layer's precision accounting can treat baselines
+        and the approximate query path uniformly.
+        """
+        return 0.0
+
     # ------------------------------------------------------------------
     def proximity_vector(self, query: int) -> np.ndarray:
         """Proximities of all nodes w.r.t. ``query`` (method-specific)."""
@@ -102,4 +113,5 @@ class ProximityBaseline(abc.ABC):
             n_pruned=0,
             terminated_early=False,
             padded=False,
+            error_bound=float(self.error_estimate()),
         )

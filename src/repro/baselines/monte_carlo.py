@@ -40,7 +40,12 @@ class MonteCarloRWR(ProximityBaseline):
         Hard cap on a single walk's length (numerical safety; geometric
         walks exceed it with probability ``(1-c)^max_steps``).
     seed:
-        Seed for the walk simulation.
+        Seed for the walk simulation.  With an integer seed each query
+        draws from its own generator seeded by ``(seed, query)``, so
+        ``proximity_vector(q)`` is a pure function of the graph and the
+        seed — independent of how many queries ran before it.  (Passing
+        a live :class:`numpy.random.Generator` opts out of that
+        determinism: the stream is then shared across queries.)
     """
 
     method_name = "MonteCarlo"
@@ -69,12 +74,25 @@ class MonteCarloRWR(ProximityBaseline):
             lo, hi = a.indptr[u], a.indptr[u + 1]
             if hi > lo:
                 self._cumulative[lo:hi] = np.cumsum(a.data[lo:hi])
-        self._rng = check_random_state(self.seed)
+        # Integer seeds get a fresh per-query generator in
+        # ``_query_rng``; only explicit Generator seeds share a stream.
+        self._rng = None if isinstance(self.seed, int) else check_random_state(self.seed)
+
+    def _query_rng(self, query: int) -> np.random.Generator:
+        if self._rng is not None:
+            return self._rng
+        return np.random.default_rng((int(self.seed), int(query)))
+
+    def error_estimate(self) -> float:
+        # Standard-error-style bound on a single estimated proximity:
+        # each entry is a mean of ``n_walks`` Bernoulli-like visit
+        # indicators scaled by ``c``, so the noise scales as 1/sqrt(N).
+        return self.c / float(np.sqrt(self.n_walks))
 
     def _proximity_vector(self, query: int) -> np.ndarray:
         n = self.graph.n_nodes
         counts = np.zeros(n, dtype=np.float64)
-        rng = self._rng
+        rng = self._query_rng(query)
         indptr, indices, cumulative = self._indptr, self._indices, self._cumulative
         c = self.c
         for _ in range(self.n_walks):

@@ -42,6 +42,12 @@ class TopKResult:
         Whether the Lemma 2 cut-off fired before the schedule ended.
     padded:
         Whether zero-proximity nodes were appended to reach ``k``.
+    error_bound:
+        Certified upper bound on the absolute error of every returned
+        proximity.  Exactly ``0.0`` for exact answers (every
+        pre-existing path); a ``best_effort`` precision-tier answer
+        (:mod:`repro.query.approx`) carries its cumulative
+        power-iteration residual bound here.
     """
 
     query: int
@@ -52,6 +58,7 @@ class TopKResult:
     n_pruned: int = 0
     terminated_early: bool = False
     padded: bool = False
+    error_bound: float = 0.0
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,161 @@
+"""Differential battery for the precision tiers (ISSUE 10).
+
+Three graph families × k ∈ {1, 5, n} × three index states (static,
+pending-Woodbury, post-compaction).  The contracts under test:
+
+- ``exact`` is bit-identical to the historical default path — the
+  ranked items (float bit patterns included) AND the cost counters;
+- ``bounded`` never returns a different top-k set: certified answers
+  are exact-rescored through the pinned kernel reduction (byte-identical
+  scores) and overlapping gaps escalate to the exact scan, so bounded
+  items always equal exact items byte-for-byte;
+- ``best_effort`` proximities sit within the reported one-sided
+  residual bound of the true proximities;
+- every non-exact call reconciles: executed = fast_path + escalated.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro import DynamicKDash, KDash, QueryEngine
+from repro.graph import (
+    column_normalized_adjacency,
+    erdos_renyi_graph,
+    grid_graph,
+    scale_free_digraph,
+)
+from repro.rwr import direct_solve_rwr
+
+STATES = ("static", "pending", "post_compaction")
+
+
+@st.composite
+def family_graphs(draw):
+    """Graphs from three structurally distinct families."""
+    family = draw(st.sampled_from(["erdos_renyi", "scale_free", "grid"]))
+    seed = draw(st.integers(0, 10_000))
+    if family == "erdos_renyi":
+        n = draw(st.integers(8, 28))
+        return erdos_renyi_graph(n, 0.15, seed=seed)
+    if family == "scale_free":
+        n = draw(st.integers(8, 28))
+        return scale_free_digraph(n, 3 * n, seed=seed)
+    rows = draw(st.integers(3, 5))
+    cols = draw(st.integers(3, 5))
+    return grid_graph(rows, cols)
+
+
+def score_bytes(items):
+    """Items with scores as raw float64 bytes — bit-identity, not ≈."""
+    return [(node, np.float64(score).tobytes()) for node, score in items]
+
+
+def absent_edges(graph, count):
+    """Deterministic edges not present in ``graph`` (no self-loops)."""
+    existing = {(u, v) for u, v, _ in graph.edges()}
+    picked = []
+    for u in range(graph.n_nodes):
+        for v in range(graph.n_nodes):
+            if u != v and (u, v) not in existing:
+                picked.append((u, v, 1.0))
+                if len(picked) == count:
+                    return picked
+    return picked
+
+
+def make_engine(graph, state, precision=None):
+    """A fresh uncached engine in the requested index state.
+
+    The reference engines pass ``precision="exact"`` so the battery's
+    baseline stays the historical exact path even when the suite runs
+    under a non-default ``$REPRO_PRECISION`` (the CI bounded leg).
+    """
+    if state == "static":
+        return QueryEngine(KDash(graph), cache_size=0, precision=precision)
+    engine = QueryEngine(DynamicKDash(graph), cache_size=0, precision=precision)
+    engine.apply_updates(inserts=absent_edges(graph, 3))
+    if state == "post_compaction":
+        engine.rebuild()
+        assert engine.dynamic.n_pending_columns == 0
+    else:
+        assert engine.dynamic.n_pending_columns > 0
+    return engine
+
+
+class TestDifferentialBattery:
+    @given(family_graphs(), st.integers(0, 10_000))
+    def test_tiers_across_index_states(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        n = graph.n_nodes
+        query = int(rng.integers(n))
+        for state in STATES:
+            tiered = make_engine(graph, state)
+            reference = make_engine(graph, state, precision="exact")
+            live_graph = (
+                tiered.dynamic.graph if tiered.dynamic is not None else graph
+            )
+            truth = direct_solve_rwr(
+                column_normalized_adjacency(live_graph), query, tiered.index.c
+            )
+            nonexact_calls = 0
+            for k in sorted({1, min(5, n), n}):
+                exact = reference.top_k(query, k)
+
+                # exact tier: bit-identical items AND counters.
+                r = tiered.top_k(query, k, precision="exact")
+                assert score_bytes(r.items) == score_bytes(exact.items)
+                assert (
+                    r.n_visited,
+                    r.n_computed,
+                    r.n_pruned,
+                    r.terminated_early,
+                    r.padded,
+                ) == (
+                    exact.n_visited,
+                    exact.n_computed,
+                    exact.n_pruned,
+                    exact.terminated_early,
+                    exact.padded,
+                )
+
+                # bounded: certified-or-escalated, items byte-identical
+                # to exact either way.
+                b = tiered.top_k(query, k, precision="bounded(1e-08)")
+                assert score_bytes(b.items) == score_bytes(exact.items)
+                stats = tiered.last_stats
+                assert stats.precision == "bounded"
+                assert stats.fast_path + stats.escalated == 1
+                nonexact_calls += 1
+
+                # best_effort: every returned proximity within the
+                # reported one-sided residual bound of the truth.
+                e = tiered.top_k(query, k, precision="best_effort(0.001)")
+                stats = tiered.last_stats
+                assert stats.fast_path + stats.escalated == 1
+                nonexact_calls += 1
+                slack = e.error_bound + 1e-9
+                for node, score in e.items:
+                    assert score - 1e-9 <= truth[node] <= score + slack
+
+            agg = tiered.stats
+            assert (
+                agg.fast_path_queries + agg.escalated_queries == nonexact_calls
+            )
+
+    @given(family_graphs(), st.integers(0, 10_000))
+    def test_batched_bounded_matches_exact(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        n = graph.n_nodes
+        queries = [int(rng.integers(n)) for _ in range(6)]
+        k = int(rng.integers(1, min(6, n) + 1))
+        for state in STATES:
+            tiered = make_engine(graph, state)
+            reference = make_engine(graph, state, precision="exact")
+            exact = reference.top_k_many(queries, k)
+            bounded = tiered.top_k_many(queries, k, precision="bounded(1e-08)")
+            for b, r in zip(bounded, exact):
+                assert score_bytes(b.items) == score_bytes(r.items)
+            stats = tiered.last_stats
+            distinct = len(set(queries))
+            assert stats.fast_path + stats.escalated == distinct
+            assert stats.dedup_hits == len(queries) - distinct

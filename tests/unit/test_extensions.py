@@ -58,6 +58,36 @@ class TestMonteCarlo:
         with pytest.raises(InvalidParameterError):
             MonteCarloRWR(er_graph, max_steps=0)
 
+    def test_seed_determinism_is_call_order_independent(self, er_graph):
+        # Regression: with a shared generator, proximity_vector(q) used
+        # to depend on which queries ran before it.  Per-(seed, query)
+        # generators make each query a pure function of the seed.
+        fresh = MonteCarloRWR(er_graph, n_walks=300, seed=7).build()
+        baseline = fresh.proximity_vector(3)
+
+        warmed = MonteCarloRWR(er_graph, n_walks=300, seed=7).build()
+        warmed.proximity_vector(0)
+        warmed.proximity_vector(5)
+        assert np.array_equal(warmed.proximity_vector(3), baseline)
+        # and re-querying the same instance reproduces its own answer
+        assert np.array_equal(fresh.proximity_vector(3), baseline)
+
+    def test_distinct_queries_use_distinct_streams(self, er_graph):
+        mc = MonteCarloRWR(er_graph, n_walks=300, seed=7).build()
+        assert not np.array_equal(mc.proximity_vector(1), mc.proximity_vector(2))
+
+    def test_error_estimate_threaded_into_results(self, er_graph):
+        mc = MonteCarloRWR(er_graph, n_walks=400, seed=1).build()
+        expected = mc.c / np.sqrt(400)
+        assert mc.error_estimate() == pytest.approx(expected)
+        assert mc.top_k(0, 3).error_bound == pytest.approx(expected)
+
+    def test_generator_seed_still_accepted(self, er_graph):
+        rng = np.random.default_rng(11)
+        mc = MonteCarloRWR(er_graph, n_walks=200, seed=rng).build()
+        p = mc.proximity_vector(0)
+        assert p.sum() > 0.0
+
 
 class TestRCM:
     def test_valid_permutation(self, sf_graph):

@@ -1,0 +1,208 @@
+"""Unit tests for the precision tiers: policy parsing, the CPI bound,
+the gap-overlap verifier's escalation behaviour, and stats reconciliation.
+
+The differential battery across graph families and index states lives in
+``tests/property/test_prop_precision.py``; this file pins the targeted
+cases — near-tied k/(k+1) scores MUST escalate, clear gaps MUST certify,
+and the engine's precision counters must always reconcile.
+"""
+
+import numpy as np
+import pytest
+
+from repro import KDash, QueryEngine
+from repro.exceptions import InvalidParameterError
+from repro.graph import DiGraph, column_normalized_adjacency, star_graph
+from repro.query.approx import (
+    DEFAULT_BOUNDED_EPS,
+    EXACT_POLICY,
+    PRECISION_ENV_VAR,
+    ApproxState,
+    PrecisionPolicy,
+    approx_top_k,
+    cumulative_power_iteration,
+    exact_rescore,
+)
+from repro.rwr import direct_solve_rwr
+
+
+def score_bytes(items):
+    return [(node, np.float64(score).tobytes()) for node, score in items]
+
+
+class TestPrecisionPolicy:
+    def test_defaults_and_roundtrip(self):
+        assert EXACT_POLICY.is_exact and EXACT_POLICY.spec == "exact"
+        for spec in ("exact", "bounded(0.0001)", "best_effort(0.01)"):
+            assert PrecisionPolicy.parse(spec).spec == spec
+        assert PrecisionPolicy.parse("bounded").eps == DEFAULT_BOUNDED_EPS
+        policy = PrecisionPolicy.parse("best_effort")
+        assert PrecisionPolicy.parse(policy) is policy  # passthrough
+
+    def test_cache_tags_isolate_tiers(self):
+        assert PrecisionPolicy.parse("exact").cache_tag() == ()
+        a = PrecisionPolicy.parse("bounded(1e-4)").cache_tag()
+        b = PrecisionPolicy.parse("bounded(1e-6)").cache_tag()
+        c = PrecisionPolicy.parse("best_effort(1e-4)").cache_tag()
+        assert len({a, b, c}) == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["turbo", "exact(0.1)", "bounded()", "bounded(zero)", "bounded(0)",
+         "bounded(1.5)", 7, None],
+    )
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            PrecisionPolicy.parse(bad)
+
+    def test_env_precedence(self, monkeypatch):
+        monkeypatch.delenv(PRECISION_ENV_VAR, raising=False)
+        assert PrecisionPolicy.resolve(None).is_exact
+        monkeypatch.setenv(PRECISION_ENV_VAR, "bounded(1e-05)")
+        assert PrecisionPolicy.resolve(None).spec == "bounded(1e-05)"
+        # explicit wins over the environment
+        assert PrecisionPolicy.resolve("exact").is_exact
+
+    def test_engine_resolves_env_at_construction(self, monkeypatch, star):
+        monkeypatch.setenv(PRECISION_ENV_VAR, "bounded(1e-05)")
+        engine = QueryEngine(KDash(star))
+        assert engine.precision.spec == "bounded(1e-05)"
+        monkeypatch.setenv(PRECISION_ENV_VAR, "best_effort")
+        assert engine.precision.spec == "bounded(1e-05)"  # no re-read
+
+
+class TestCumulativePowerIteration:
+    def test_one_sided_bound_sandwiches_truth(self, er_graph):
+        a = column_normalized_adjacency(er_graph)
+        truth = direct_solve_rwr(a, 0, 0.95)
+        state = ApproxState(a, 0.95)
+        vec = cumulative_power_iteration(state, 0, eps=1e-4)
+        assert vec.converged and vec.error_bound <= 1e-4
+        # partial sums never exceed the truth; the residual covers the gap
+        assert np.all(vec.scores <= truth + 1e-12)
+        assert np.all(truth <= vec.scores + vec.error_bound + 1e-12)
+
+    def test_budget_exhaustion_reports_unconverged(self, er_graph):
+        state = ApproxState.from_graph(er_graph, 0.95)
+        vec = cumulative_power_iteration(state, 0, eps=1e-300, max_iterations=2)
+        assert not vec.converged and vec.iterations == 2
+
+    def test_exact_rescore_is_bit_identical_to_kernel(self, er_graph):
+        index = KDash(er_graph).build()
+        exact = index.top_k(3, 5)
+        pairs = dict(exact_rescore(index._prepared, 3, exact.nodes))
+        for node, score in exact.items:
+            assert np.float64(pairs[node]).tobytes() == np.float64(score).tobytes()
+
+
+class TestGapOverlapVerifier:
+    def test_exact_ties_always_escalate(self, star):
+        # Star leaves are exactly tied: no finite bound separates the
+        # k-th from the (k+1)-th, so bounded MUST escalate, never guess.
+        engine = QueryEngine(KDash(star), cache_size=0)
+        exact = engine.top_k(0, 4)
+        bounded = engine.top_k(0, 4, precision="bounded(1e-10)")
+        assert score_bytes(bounded.items) == score_bytes(exact.items)
+        assert engine.last_stats.escalated == 1
+        assert engine.last_stats.fast_path == 0
+
+    def test_near_tied_gap_escalates(self):
+        # k-th and (k+1)-th proximities differ by ~1e-12 of edge weight —
+        # far below any achievable residual bound, so the verifier must
+        # refuse to certify and hand the query to the exact scan.
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0 + 1e-12)
+        engine = QueryEngine(KDash(g), cache_size=0)
+        exact = engine.top_k(0, 2)
+        bounded = engine.top_k(0, 2, precision="bounded(1e-08)")
+        assert engine.last_stats.escalated == 1
+        assert score_bytes(bounded.items) == score_bytes(exact.items)
+
+    def test_clear_gap_certifies_fast_path(self, star):
+        # Hub self-proximity dominates every leaf by a wide margin:
+        # k=1 certifies, and the rescored answer is byte-identical.
+        engine = QueryEngine(KDash(star), cache_size=0)
+        exact = engine.top_k(0, 1)
+        bounded = engine.top_k(0, 1, precision="bounded(1e-10)")
+        assert engine.last_stats.fast_path == 1
+        assert engine.last_stats.escalated == 0
+        assert score_bytes(bounded.items) == score_bytes(exact.items)
+
+    def test_k_equals_n_escalates(self, star):
+        # With k = n there is no (k+1)-th score to separate from.
+        n = star.n_nodes
+        engine = QueryEngine(KDash(star), cache_size=0)
+        engine.top_k(0, n, precision="bounded(1e-10)")
+        assert engine.last_stats.escalated == 1
+
+    def test_unconverged_cpi_escalates(self, er_graph):
+        # An exhausted iteration budget means the bound never reached
+        # eps; bounded mode must not certify from a loose bound.
+        index = KDash(er_graph).build()
+        state = ApproxState.from_graph(er_graph, 0.95)
+        policy = PrecisionPolicy(mode="bounded", eps=1e-12, max_iterations=1)
+        sentinel = index.top_k(0, 3)
+        outcome = approx_top_k(
+            index._prepared, state, 0, 3, policy, lambda: sentinel
+        )
+        assert outcome.escalated and outcome.result is sentinel
+
+
+class TestBestEffort:
+    def test_never_escalates_and_reports_bound(self, er_graph):
+        engine = QueryEngine(KDash(er_graph), cache_size=0)
+        result = engine.top_k(0, 5, precision="best_effort(0.01)")
+        assert engine.last_stats.fast_path == 1
+        assert engine.last_stats.escalated == 0
+        assert 0.0 < result.error_bound <= 0.01
+        assert engine.last_stats.error_bound == result.error_bound
+
+    def test_scores_within_reported_bound(self, er_graph):
+        a = column_normalized_adjacency(er_graph)
+        truth = direct_solve_rwr(a, 0, 0.95)
+        engine = QueryEngine(KDash(er_graph), cache_size=0)
+        result = engine.top_k(0, 5, precision="best_effort(0.001)")
+        for node, score in result.items:
+            assert score - 1e-12 <= truth[node] <= score + result.error_bound + 1e-12
+
+
+class TestStatsReconciliation:
+    def test_served_equals_fast_path_plus_escalated(self, er_graph, star):
+        engine = QueryEngine(KDash(er_graph), cache_size=0)
+        queries = [0, 1, 2, 3, 4, 0, 1]  # two dedup hits
+        engine.top_k_many(queries, 5, precision="bounded(1e-08)")
+        stats = engine.last_stats
+        assert stats.n_queries == len(queries)
+        assert stats.dedup_hits == 2
+        assert stats.fast_path + stats.escalated == len(set(queries))
+        agg = engine.stats
+        assert agg.fast_path_queries + agg.escalated_queries == len(set(queries))
+        assert agg.escalation_rate == pytest.approx(
+            agg.escalated_queries / len(set(queries))
+        )
+
+    def test_cache_hits_do_not_count_as_served(self, er_graph):
+        engine = QueryEngine(KDash(er_graph), cache_size=64)
+        engine.top_k(0, 5, precision="bounded(1e-08)")
+        first = (engine.stats.fast_path_queries, engine.stats.escalated_queries)
+        engine.top_k(0, 5, precision="bounded(1e-08)")  # tier-key cache hit
+        assert engine.last_stats.cache_hits == 1
+        assert (
+            engine.stats.fast_path_queries,
+            engine.stats.escalated_queries,
+        ) == first
+
+    def test_exact_cache_satisfies_bounded_tier(self, er_graph):
+        engine = QueryEngine(KDash(er_graph), cache_size=64)
+        exact = engine.top_k(0, 5, precision="exact")
+        bounded = engine.top_k(0, 5, precision="bounded(1e-08)")
+        assert engine.last_stats.cache_hits == 1
+        assert bounded is exact  # the very cached object
+
+    def test_error_bound_max_aggregates(self, er_graph):
+        engine = QueryEngine(KDash(er_graph), cache_size=0)
+        engine.top_k(0, 5, precision="best_effort(0.01)")
+        engine.top_k(1, 5, precision="best_effort(0.001)")
+        assert engine.stats.error_bound_max > 0.0
+        assert engine.stats.error_bound_max <= 0.01
